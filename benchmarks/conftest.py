@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Repetitions per experimental condition default to 3 here (the paper uses
+10) so the full benchmark suite finishes in minutes; set
+``REPRO_REPETITIONS`` to reproduce the paper's statistics exactly::
+
+    REPRO_REPETITIONS=10 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+
+def bench_repetitions(default: int = 3) -> int:
+    value = os.environ.get("REPRO_REPETITIONS")
+    if value:
+        return max(1, int(value))
+    return default
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so tables appear in the output."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _show
+
+
+def run_once(benchmark, fn):
+    """Run a harness driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

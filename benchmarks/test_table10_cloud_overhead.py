@@ -1,0 +1,16 @@
+"""Benchmark: paper Table X — capture overhead on cloud servers.
+
+Same workloads on the Xeon device model over a LAN-latency link: all
+three systems are low overhead (<3%), with ProvLight still the fastest
+by roughly the paper's 7x/5x factors.
+"""
+
+from conftest import bench_repetitions, run_once
+
+from repro.harness import table10
+
+
+def test_table10_cloud_overhead(benchmark, show):
+    result = run_once(benchmark, lambda: table10(bench_repetitions()))
+    show(result.text)
+    assert result.ok, result.failed_checks()

@@ -1,0 +1,53 @@
+"""Head-to-head: ProvLight vs ProvLake vs DfAnalyzer on one workload.
+
+A quick, single-repetition version of the paper's Tables II/VII plus the
+Fig. 6 resource metrics, on the 0.5 s / 100-attribute synthetic workload.
+For the full grids with confidence intervals, use the harness:
+
+    python -m repro.harness all
+
+Run with:  python examples/system_comparison.py
+"""
+
+from repro.harness import ExperimentSetup, measure_overhead
+from repro.metrics import render_table
+from repro.workloads import SyntheticWorkloadConfig
+
+
+def main() -> None:
+    config = SyntheticWorkloadConfig(
+        attributes_per_task=100, task_duration_s=0.5, number_of_tasks=50
+    )
+    rows = []
+    for system in ("provlight", "dfanalyzer", "provlake"):
+        result = measure_overhead(
+            ExperimentSetup(system=system), config, repetitions=2
+        )
+        power = result.mean_metric(
+            lambda m: m.average_power_w if m.average_power_w else 0.0
+        )
+        rows.append(
+            [
+                system,
+                result.ci.as_percent(),
+                f"{result.mean_metric(lambda m: m.capture_cpu_utilization) * 100:.2f}%",
+                f"{result.mean_metric(lambda m: m.capture_memory_fraction) * 100:.2f}%",
+                f"{result.mean_metric(lambda m: m.network_kb_per_s):.2f} KB/s",
+                f"{power:.3f} W",
+            ]
+        )
+    print(
+        render_table(
+            "capture systems on 50 x 0.5s tasks, 100 attributes (edge device)",
+            ["system", "time overhead", "CPU", "memory", "network", "power"],
+            rows,
+            note=(
+                "paper: ProvLight <3% overhead and 26-37x faster capture; "
+                "5-7x less CPU, ~2x less memory, ~2x less data, 2-2.6x less energy"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs fail; with this shim ``pip install -e .`` falls
+back to the classic ``setup.py develop`` path which needs only setuptools.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,209 @@
+"""Shared machinery for the baseline capture libraries.
+
+Both ProvLake and DfAnalyzer capture clients follow the same pattern the
+paper analyzes (Table VI): build a provenance record, serialize it to
+verbose JSON, and POST it over a **blocking** HTTP/1.1 request on a
+keep-alive TCP connection.  The workflow thread is stalled for the whole
+serialize + transmit + server + response cycle — the root cause of the
+Table II overheads.
+
+The classes here also define the uniform capture-client interface that
+lets one instrumented workload run against any capture system (ProvLight,
+the baselines, or no capture at all):
+
+* ``now`` property — simulated clock for record timestamps;
+* ``setup()`` / ``capture(record, groupable)`` / ``flush_groups()`` /
+  ``drain()`` — generators;
+* ``close()``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..core.client import count_attributes_from_record
+from ..device import Device
+from ..http import HttpRequestError, HttpSession
+from ..net import Endpoint
+from ..simkernel import Counter
+
+__all__ = ["NullCaptureClient", "BlockingHttpCaptureClient", "iso_time"]
+
+
+def iso_time(seconds: float) -> str:
+    """Format a simulated timestamp the way the real libraries do
+    (ISO-8601-ish strings inflate the JSON exactly like in production)."""
+    ms = int(round(seconds * 1000))
+    s, ms = divmod(ms, 1000)
+    m, s = divmod(s, 60)
+    h, m = divmod(m, 60)
+    return f"2023-01-17T{h:02d}:{m:02d}:{s:02d}.{ms:03d}Z"
+
+
+class NullCaptureClient:
+    """No-op capture client: the "without provenance" control run.
+
+    The paper's overhead metric is the relative difference against this.
+    """
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.env = device.env
+        self.records_captured = Counter("records")
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def setup(self):
+        return self
+        yield  # pragma: no cover
+
+    def capture(self, record: Dict[str, Any], groupable: bool = True):
+        self.records_captured.record()
+        return None
+        yield  # pragma: no cover
+
+    def flush_groups(self):
+        return None
+        yield  # pragma: no cover
+
+    def drain(self):
+        return None
+        yield  # pragma: no cover
+
+    def close(self) -> None:
+        pass
+
+
+class BlockingHttpCaptureClient:
+    """Base class for the ProvLake/DfAnalyzer-style capture libraries.
+
+    Subclasses define the cost constants, the JSON wire format (envelope +
+    per-record rendering) and whether grouping is supported.
+    """
+
+    #: subclasses: human name for diagnostics
+    system_name = "baseline"
+    #: ProvLake's grouping batches *every* message (its feature predates
+    #: ProvLight's ended-tasks-only refinement), so subclasses that group
+    #: set this to ignore the per-record ``groupable`` hint.
+    group_all = False
+
+    def __init__(
+        self,
+        device: Device,
+        server: Endpoint,
+        path: str,
+        lib_bytes: int,
+        group_size: int = 0,
+    ):
+        if device.host is None:
+            raise RuntimeError(f"device {device.name} is not attached to a network host")
+        if group_size and not self.supports_grouping():
+            raise ValueError(f"{self.system_name} does not support grouping")
+        self.device = device
+        self.env = device.env
+        self.server = server
+        self.path = path
+        self.group_size = group_size
+        self.session = HttpSession(device.host, user_agent=f"{self.system_name}-capture/1.0")
+        self._buffer: List[Dict[str, Any]] = []
+        self._lib_bytes = lib_bytes
+        device.memory.allocate(lib_bytes, tag="capture-static")
+        self.records_captured = Counter("records")
+        self.requests_sent = Counter("requests")
+        self.body_bytes = Counter("body-bytes")
+        self.capture_errors = Counter("errors")
+
+    # -- interface hooks for subclasses -------------------------------------
+    def supports_grouping(self) -> bool:
+        return False
+
+    def build_cost_s(self, n_attrs: int) -> float:
+        raise NotImplementedError
+
+    def flush_compute_cost_s(self, records: List[Dict[str, Any]]) -> float:
+        raise NotImplementedError
+
+    def flush_io_wait_s(self) -> float:
+        raise NotImplementedError
+
+    def render_body(self, records: List[Dict[str, Any]]) -> bytes:
+        raise NotImplementedError
+
+    # -- capture-client interface ----------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def setup(self):
+        """Nothing to pre-establish: the first POST dials the server."""
+        return self
+        yield  # pragma: no cover
+
+    def capture(self, record: Dict[str, Any], groupable: bool = True):
+        """Generator: capture one record, blocking like the real library."""
+        self.records_captured.record()
+        n_attrs = count_attributes_from_record(record)
+        yield from self.device.cpu.run(
+            compute_s=self.build_cost_s(n_attrs), tag="capture"
+        )
+        if self.group_size > 0 and (groupable or self.group_all):
+            self._buffer.append(record)
+            self.device.memory.allocate(_record_footprint(record), tag="capture-buffers")
+            if len(self._buffer) >= self.group_size:
+                yield from self._flush()
+        else:
+            yield from self._post([record])
+
+    def flush_groups(self):
+        """Generator: send any partially filled group."""
+        if self._buffer:
+            yield from self._flush()
+
+    def drain(self):
+        """Blocking clients have nothing pending once capture returns."""
+        return None
+        yield  # pragma: no cover
+
+    def close(self) -> None:
+        self.session.close()
+        self.device.memory.free(self._lib_bytes, tag="capture-static")
+
+    # -- internals ---------------------------------------------------------------
+    def _flush(self):
+        records, self._buffer = self._buffer, []
+        for record in records:
+            self.device.memory.free(_record_footprint(record), tag="capture-buffers")
+        yield from self._post(records)
+
+    def _post(self, records: List[Dict[str, Any]]):
+        yield from self.device.cpu.run(
+            compute_s=self.flush_compute_cost_s(records),
+            io_wait_s=self.flush_io_wait_s(),
+            tag="capture",
+        )
+        body = self.render_body(records)
+        self.body_bytes.record(len(body))
+        energy = self.device.energy
+        if energy is not None:
+            energy.rx_listen_start()
+        try:
+            response = yield from self.session.post(self.server, self.path, body)
+            if not response.ok:
+                self.capture_errors.record()
+        except HttpRequestError:
+            # like the real libraries: log and carry on, never crash the
+            # instrumented application
+            self.capture_errors.record()
+        finally:
+            if energy is not None:
+                energy.rx_listen_stop()
+        self.requests_sent.record()
+
+
+def _record_footprint(record: Dict[str, Any]) -> int:
+    """Rough in-memory footprint of a buffered record."""
+    return 300 + 40 * count_attributes_from_record(record)

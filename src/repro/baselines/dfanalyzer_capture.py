@@ -1,0 +1,106 @@
+"""DfAnalyzer-style capture library (baseline).
+
+Reproduces the DfAnalyzer Python capture component the paper measures:
+every ``task.begin``/``task.end`` becomes one synchronous HTTP POST of a
+dataflow-model JSON message to the DfAnalyzer RESTful ingestion API; no
+grouping support (paper Table IV).
+
+Cost constants are fitted to Table II — see
+:class:`repro.calibration.DfAnalyzerCosts`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..calibration import DFANALYZER_COSTS, MEMORY_FOOTPRINTS, DfAnalyzerCosts
+from ..core.client import count_attributes_from_record
+from ..device import Device
+from ..net import Endpoint
+from .common import BlockingHttpCaptureClient, iso_time
+
+__all__ = ["DfAnalyzerCaptureClient"]
+
+_HEADER = {
+    "dfa_version": "1.0.4",
+    "client": {"library": "dfa-lib-python", "language": "python"},
+    "ingestion": {"mode": "runtime", "api": "pde", "format": "json"},
+}
+
+
+class DfAnalyzerCaptureClient(BlockingHttpCaptureClient):
+    """Per-call blocking JSON-over-HTTP capture (no grouping)."""
+
+    system_name = "dfanalyzer"
+
+    def __init__(
+        self,
+        device: Device,
+        server: Endpoint,
+        path: str = "/pde/task",
+        costs: DfAnalyzerCosts = DFANALYZER_COSTS,
+    ):
+        self.costs = costs
+        super().__init__(
+            device,
+            server,
+            path,
+            lib_bytes=MEMORY_FOOTPRINTS.dfanalyzer_lib_bytes,
+            group_size=0,
+        )
+
+    def supports_grouping(self) -> bool:
+        return False
+
+    def build_cost_s(self, n_attrs: int) -> float:
+        return self.costs.record_build_compute_s
+
+    def flush_compute_cost_s(self, records: List[Dict[str, Any]]) -> float:
+        total = self.costs.flush_fixed_compute_s
+        for record in records:
+            total += (
+                self.costs.flush_per_record_compute_s
+                + self.costs.flush_per_attr_compute_s
+                * count_attributes_from_record(record)
+            )
+        return total
+
+    def flush_io_wait_s(self) -> float:
+        return self.costs.flush_io_s
+
+    def render_body(self, records: List[Dict[str, Any]]) -> bytes:
+        # DfAnalyzer posts one message per request; records arrive here
+        # one at a time because grouping is unsupported.
+        body = dict(_HEADER)
+        body["messages"] = [self._render_record(r) for r in records]
+        return json.dumps(body).encode()
+
+    def _render_record(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        kind = record.get("kind", "")
+        if kind.startswith("workflow"):
+            return {
+                "object": "dataflow",
+                "dataflow_tag": f"df_{record['workflow_id']}",
+                "event": kind.split("_", 1)[1],
+                "timestamp": iso_time(record.get("time", 0.0)),
+            }
+        datasets = []
+        for item in record.get("data", ()):
+            datasets.append(
+                {
+                    "tag": str(item["id"]),
+                    "dependency": [str(d) for d in item.get("derivations", ())],
+                    "elements": [item.get("attributes", {})],
+                }
+            )
+        return {
+            "object": "task",
+            "dataflow_tag": f"df_{record['workflow_id']}",
+            "transformation_tag": f"tr_{record.get('transformation_id')}",
+            "id": record["task_id"],
+            "status": "RUNNING" if kind == "task_begin" else "FINISHED",
+            "dependency": {"tags": [str(d) for d in record.get("dependencies", ())]},
+            "performance": {"time": iso_time(record.get("time", 0.0))},
+            "sets": datasets,
+        }

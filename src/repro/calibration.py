@@ -1,0 +1,190 @@
+"""Calibration constants tying the simulation to the paper's measurements.
+
+The DES charges simulated CPU time for library work instead of executing it
+on an ARM board.  Every constant below is expressed **in seconds of work on
+the reference device** (the FIT IoT LAB A8-M3: ARM Cortex-A8 @ 600 MHz,
+single core) and is annotated with the paper measurement it was fitted
+against.  Faster devices divide these times by their per-class speedup
+(see :class:`repro.device.specs.DeviceSpec`).
+
+Work is split into two classes, because the paper's edge-vs-cloud numbers
+cannot be explained by a single scalar speedup:
+
+* ``compute`` — interpreter-bound work (building provenance documents,
+  JSON/binary serialization, compression).  A Xeon runs this ~25x faster
+  than the A8-M3 (clock x superscalar x cache effects).
+* ``io`` — syscall/socket/GIL-bound work per message.  This scales much
+  less (~20x ceiling with a floor per call), which is what lets ProvLight
+  remain measurable on cloud servers (paper Table X: 0.24 % -> 0.11 %).
+
+Fidelity contract (see DESIGN.md §2): the *baseline* systems' constants are
+fitted to the paper's Tables II/III; ProvLight's constants are fitted only
+to its per-call capture cost (Table VII first column), and everything else
+about ProvLight's behaviour — grouping gains, bandwidth insensitivity,
+scalability, network bytes — *emerges* from the simulated design (async
+MQTT-SN publish, real zlib compression of real payloads, QoS 2 exchange).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ProvLakeCosts",
+    "DfAnalyzerCosts",
+    "ProvLightCosts",
+    "ServerCosts",
+    "EnergyCoefficients",
+    "MemoryFootprints",
+    "PROVLAKE_COSTS",
+    "DFANALYZER_COSTS",
+    "PROVLIGHT_COSTS",
+    "SERVER_COSTS",
+    "A8M3_ENERGY",
+    "MEMORY_FOOTPRINTS",
+]
+
+MS = 1e-3  # readability: constants below are written in milliseconds
+
+
+@dataclass(frozen=True)
+class ProvLakeCosts:
+    """Client-side costs of the ProvLake-style capture library.
+
+    Fitted against paper Table II (edge overhead 56.9 %-57.3 % at 0.5 s
+    tasks => ~142-143 ms per capture call of which ~48 ms is network
+    round-trip measured separately) and Table III (grouping: 2.37 % at
+    group=50 => ~1.7 ms residual per-record cost).
+    """
+
+    #: Building one in-memory prov record (cheap dict work), per call.
+    record_build_compute_s: float = 1.7 * MS
+    #: Extra per attribute when building the record.
+    record_build_per_attr_s: float = 0.002 * MS
+    #: Fixed serialize+request-preparation work per HTTP flush.
+    flush_fixed_compute_s: float = 46.0 * MS
+    #: Serialization work per record inside a flush.
+    flush_per_record_compute_s: float = 0.55 * MS
+    #: Serialization work per attribute per record inside a flush.
+    flush_per_attr_compute_s: float = 0.011 * MS
+    #: Blocking-but-not-busy time per flush (socket setup, GIL waits,
+    #: kernel buffers) — the gap between Table II totals and Fig. 6a CPU.
+    flush_io_s: float = 44.4 * MS
+
+
+@dataclass(frozen=True)
+class DfAnalyzerCosts:
+    """Client-side costs of the DfAnalyzer-style capture library.
+
+    Fitted against paper Table II (39.8 %-40.5 % at 0.5 s tasks => ~99.5 to
+    ~101.3 ms per call) and Fig. 6a (CPU ~5x ProvLight => busy share
+    ~33 ms of the ~51 ms non-network cost).
+    """
+
+    record_build_compute_s: float = 1.2 * MS
+    flush_fixed_compute_s: float = 30.0 * MS
+    flush_per_record_compute_s: float = 0.4 * MS
+    flush_per_attr_compute_s: float = 0.019 * MS
+    flush_io_s: float = 18.7 * MS
+
+
+@dataclass(frozen=True)
+class ProvLightCosts:
+    """Client-side costs of the ProvLight capture library.
+
+    Fitted against paper Table VII (1.45 % / 1.54 % at 0.5 s tasks =>
+    3.6-3.9 ms per capture call) and the paper's own micro-measurement that
+    compressing a 100-attribute payload costs ~1 ms on the device
+    (Section VII-A).  The async QoS 2 bookkeeping cost is fitted to the
+    Fig. 6a CPU utilization (~1.7-2 %).
+    """
+
+    #: Inline model-object + binary-serialize + compress work per call.
+    inline_fixed_compute_s: float = 1.45 * MS
+    #: Compression/serialization per attribute (100 attrs ~ +0.3 ms).
+    inline_per_attr_compute_s: float = 0.003 * MS
+    #: Inline enqueue + publish syscall path (io class).
+    inline_io_s: float = 2.1 * MS
+    #: Background sender work per message (QoS 2 PUBREC/PUBREL/PUBCOMP
+    #: handling); busy but off the critical path of the workflow.
+    async_per_message_io_s: float = 2.6 * MS
+    #: When grouping: cheap buffer-append per captured call.
+    buffered_fixed_compute_s: float = 0.7 * MS
+    buffered_per_attr_compute_s: float = 0.003 * MS
+    buffered_io_s: float = 0.95 * MS
+    #: When grouping: flush costs per group and per grouped record.
+    group_flush_fixed_compute_s: float = 1.3 * MS
+    group_flush_per_record_compute_s: float = 0.75 * MS
+    group_flush_io_s: float = 1.2 * MS
+
+
+@dataclass(frozen=True)
+class ServerCosts:
+    """Cloud-side service times (Xeon Gold 5220 reference, *not* scaled).
+
+    The paper reports decompress+translate ~0.005 s per grouped payload on
+    the cloud server (Section VII-A); HTTP ingestion service time is fitted
+    so the measured edge RTT contribution lands at ~48 ms given the 23 ms
+    one-way emulated delay.
+    """
+
+    #: uWSGI-style HTTP request service time (ProvLake/DfAnalyzer server).
+    http_request_service_s: float = 1.3 * MS
+    #: Broker forwarding work per MQTT-SN packet.
+    broker_per_packet_s: float = 0.05 * MS
+    #: Translator: decompress + translate one ProvLight message.
+    translate_per_message_s: float = 0.9 * MS
+    #: Translator: fixed extra for a grouped payload (paper: ~5 ms total).
+    translate_group_fixed_s: float = 3.0 * MS
+    #: Backend (DfAnalyzer storage) insert per record.
+    backend_insert_per_record_s: float = 0.6 * MS
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Power model for the A8-M3 board (3.7 V LiPo).
+
+    Fitted against paper Fig. 6d: no-capture average power ~1.394 W
+    (back-computed from 1.43 W at +2.58 %), capture deltas of
+    +0.036/+0.076/+0.095 W for ProvLight/ProvLake/DfAnalyzer.
+
+    Components: idle base; CPU busy power (scaled by utilization); radio
+    energy per transmitted KB; radio receive/listen power during blocking
+    network waits; and a wake-window cost — after any radio or capture
+    activity the SoC is held out of its low-power state for a short window
+    (race-to-sleep behaviour), which taxes systems that spread many long
+    blocking calls over the run.
+    """
+
+    base_w: float = 1.394
+    cpu_busy_w: float = 0.20
+    tx_j_per_kb: float = 0.002
+    rx_listen_w: float = 0.15
+    #: Extra power while the SoC is in its post-activity wake window.
+    wake_window_w: float = 0.07
+    wake_window_s: float = 0.040
+
+
+@dataclass(frozen=True)
+class MemoryFootprints:
+    """Resident-memory model (bytes), fitted against paper Fig. 6b.
+
+    ProvLight <4 % of the A8-M3's 256 MB, baselines ~2x more.  Static
+    library footprints dominate; dynamic buffers (grouping queues, pending
+    publishes) are accounted from real payload byte counts on top.
+    """
+
+    workflow_base_bytes: int = 34_000_000  # CPython + workload script
+    provlight_lib_bytes: int = 8_200_000
+    provlake_lib_bytes: int = 18_200_000
+    dfanalyzer_lib_bytes: int = 16_900_000
+    #: Per buffered/pending message bookkeeping overhead (object headers).
+    per_message_overhead_bytes: int = 420
+
+
+PROVLAKE_COSTS = ProvLakeCosts()
+DFANALYZER_COSTS = DfAnalyzerCosts()
+PROVLIGHT_COSTS = ProvLightCosts()
+SERVER_COSTS = ServerCosts()
+A8M3_ENERGY = EnergyCoefficients()
+MEMORY_FOOTPRINTS = MemoryFootprints()

@@ -1,0 +1,186 @@
+"""CoAP client and server over simulated UDP.
+
+Implements the RFC 7252 messaging layer: confirmable requests with
+exponential-backoff retransmission, ACKs with piggybacked responses,
+non-confirmable fire-and-forget, and message-id deduplication on the
+server.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional, Tuple
+
+from ..net import Endpoint, Host
+from ..simkernel import Counter
+from .messages import (
+    CODE_CHANGED,
+    CODE_EMPTY,
+    CODE_NOT_FOUND,
+    CODE_POST,
+    TYPE_ACK,
+    TYPE_CON,
+    TYPE_NON,
+    TYPE_RST,
+    CoapError,
+    CoapMessage,
+)
+
+__all__ = ["CoapClient", "CoapServer", "CoapTimeout", "DEFAULT_COAP_PORT"]
+
+DEFAULT_COAP_PORT = 5683
+
+# RFC 7252 transmission parameters (ACK_RANDOM_FACTOR folded in)
+ACK_TIMEOUT_S = 2.0
+MAX_RETRANSMIT = 4
+
+
+class CoapTimeout(ConnectionError):
+    """A confirmable exchange exhausted its retransmissions."""
+
+
+#: handler: (path segments, payload) -> (code, response payload)
+RequestHandler = Callable[[Tuple[str, ...], bytes], Tuple[int, bytes]]
+
+
+class CoapServer:
+    """A CoAP server with per-path handlers and MID deduplication."""
+
+    def __init__(self, host: Host, port: int = DEFAULT_COAP_PORT,
+                 service_time_s: float = 0.0005):
+        self.host = host
+        self.env = host.env
+        self.sock = host.udp_socket(port)
+        self.port = port
+        self.service_time_s = service_time_s
+        self._handlers: Dict[Tuple[str, ...], RequestHandler] = {}
+        self._seen: Dict[Tuple[Endpoint, int], int] = {}  # dedup cache
+        self.requests = Counter("requests")
+        self.duplicates = Counter("duplicates")
+        self.env.process(self._recv_loop(), name=f"coap-server-{host.name}:{port}")
+
+    def route(self, path: str, handler: RequestHandler) -> None:
+        """Register a handler for an absolute path like ``"/prov/edge"``."""
+        key = tuple(seg for seg in path.split("/") if seg)
+        self._handlers[key] = handler
+
+    def _recv_loop(self):
+        while True:
+            data, source = yield self.sock.recv()
+            if self.service_time_s > 0:
+                yield self.env.timeout(self.service_time_s)
+            try:
+                message = CoapMessage.decode(data)
+            except CoapError:
+                continue
+            self._dispatch(message, source)
+
+    def _dispatch(self, message: CoapMessage, source: Endpoint) -> None:
+        if message.mtype not in (TYPE_CON, TYPE_NON):
+            return  # stray ACK/RST at a server: ignore
+        dedup_key = (source, message.message_id)
+        if dedup_key in self._seen:
+            self.duplicates.record()
+            if message.mtype == TYPE_CON:
+                # re-ACK with the cached response code
+                self._reply(message, source, self._seen[dedup_key], b"")
+            return
+        handler = self._handlers.get(tuple(message.uri_path))
+        if handler is None:
+            code, payload = CODE_NOT_FOUND, b""
+        else:
+            code, payload = handler(tuple(message.uri_path), message.payload)
+        self.requests.record(len(message.payload))
+        self._seen[dedup_key] = code
+        if message.mtype == TYPE_CON:
+            self._reply(message, source, code, payload)
+
+    def _reply(self, request: CoapMessage, source: Endpoint, code: int,
+               payload: bytes) -> None:
+        ack = CoapMessage(
+            mtype=TYPE_ACK, code=code, message_id=request.message_id,
+            token=request.token, payload=payload,
+        )
+        self.sock.sendto(ack.encode(), source)
+
+
+class CoapClient:
+    """A CoAP client bound to one host."""
+
+    def __init__(self, host: Host, server: Endpoint,
+                 ack_timeout_s: float = ACK_TIMEOUT_S,
+                 max_retransmit: int = MAX_RETRANSMIT):
+        self.host = host
+        self.env = host.env
+        self.server = server
+        self.sock = host.udp_socket()
+        self.ack_timeout_s = ack_timeout_s
+        self.max_retransmit = max_retransmit
+        self._mids = itertools.cycle(range(1, 0x10000))
+        self._pending: Dict[int, object] = {}  # mid -> completion event
+        self.posts = Counter("posts")
+        self.env.process(self._recv_loop(), name=f"coap-client-{host.name}")
+
+    def _recv_loop(self):
+        while True:
+            data, _source = yield self.sock.recv()
+            try:
+                message = CoapMessage.decode(data)
+            except CoapError:
+                continue
+            if message.mtype in (TYPE_ACK, TYPE_RST):
+                event = self._pending.pop(message.message_id, None)
+                if event is not None and not event.triggered:
+                    if message.mtype == TYPE_RST:
+                        event.fail(ConnectionError("connection reset (RST)"))
+                    else:
+                        event.succeed(message)
+
+    def post(self, path: str, payload: bytes, confirmable: bool = True):
+        """Generator: POST ``payload``; returns the ACK message (or None
+        for non-confirmable)."""
+        segments = [seg for seg in path.split("/") if seg]
+        mid = next(self._mids)
+        request = CoapMessage(
+            mtype=TYPE_CON if confirmable else TYPE_NON,
+            code=CODE_POST, message_id=mid, uri_path=segments,
+            content_format=42, payload=payload,
+        )
+        self.posts.record(len(payload))
+        if not confirmable:
+            self.sock.sendto(request.encode(), self.server)
+            return None
+        done = self.env.event()
+        self._pending[mid] = done
+        self.sock.sendto(request.encode(), self.server)
+        self.env.process(self._retransmit(request, mid, 0))
+        response = yield done
+        return response
+
+    def post_nowait(self, path: str, payload: bytes):
+        """Confirmable POST returning the completion event immediately
+        (the exchange runs in the receive loop — the async capture path)."""
+        segments = [seg for seg in path.split("/") if seg]
+        mid = next(self._mids)
+        request = CoapMessage(
+            mtype=TYPE_CON, code=CODE_POST, message_id=mid,
+            uri_path=segments, content_format=42, payload=payload,
+        )
+        self.posts.record(len(payload))
+        done = self.env.event()
+        self._pending[mid] = done
+        self.sock.sendto(request.encode(), self.server)
+        self.env.process(self._retransmit(request, mid, 0))
+        return done
+
+    def _retransmit(self, request: CoapMessage, mid: int, attempt: int):
+        yield self.env.timeout(self.ack_timeout_s * (2 ** attempt))
+        event = self._pending.get(mid)
+        if event is None or event.triggered:
+            return
+        if attempt >= self.max_retransmit:
+            self._pending.pop(mid, None)
+            event.fail(CoapTimeout(f"CON {mid} exhausted retransmissions"))
+            return
+        self.sock.sendto(request.encode(), self.server)
+        self.env.process(self._retransmit(request, mid, attempt + 1))

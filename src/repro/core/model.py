@@ -1,0 +1,189 @@
+"""ProvLight capture model: ``Workflow``, ``Task``, ``Data``.
+
+This is the user-facing instrumentation API from the paper's Listing 1::
+
+    workflow = Workflow(1, client)
+    yield from workflow.begin()
+    task = Task(7, workflow, transformation_id=0, dependencies=prev)
+    data_in = Data("in7", workflow.id, {"in": [...]})
+    yield from task.begin([data_in])
+    # ... the actual task work ...
+    data_out = Data("out7", workflow.id, {"out": [...]}, derivations=["in7"])
+    yield from task.end([data_out])
+    yield from workflow.end()
+
+The only deviation from the paper's synchronous listing is that capture
+calls are generators (``yield from``), because inside the DES the library
+must charge simulated CPU time.  The PROV-DM mapping of these classes is
+the paper's Table V (see :mod:`repro.core.provdm`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["Workflow", "Task", "Data", "count_attributes"]
+
+Scalar = Union[None, bool, int, float, str, bytes]
+
+
+def count_attributes(data_items: Sequence["Data"]) -> int:
+    """Number of scalar attribute values across data items.
+
+    The paper's "attributes per task" counts the values manipulated per
+    task (e.g. ``{'in': [1]*100}`` is 100 attributes), so sequence values
+    count element-wise.
+    """
+    total = 0
+    for item in data_items:
+        for value in item.attributes.values():
+            if isinstance(value, (list, tuple)):
+                total += len(value)
+            elif isinstance(value, dict):
+                total += len(value)
+            else:
+                total += 1
+    return total
+
+
+class Data:
+    """A data derivation: input or output attributes of a task.
+
+    PROV-DM Entity.  ``derivations`` links chained data
+    (``wasDerivedFrom``); the workflow link is ``wasAttributedTo``.
+    """
+
+    __slots__ = ("id", "workflow_id", "attributes", "derivations")
+
+    def __init__(
+        self,
+        data_id: Any,
+        workflow_id: Any,
+        attributes: Optional[Dict[str, Any]] = None,
+        derivations: Iterable[Any] = (),
+    ):
+        self.id = data_id
+        self.workflow_id = workflow_id
+        self.attributes = dict(attributes or {})
+        self.derivations = list(derivations)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "workflow_id": self.workflow_id,
+            "derivations": list(self.derivations),
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return f"Data({self.id!r}, wf={self.workflow_id!r}, {len(self.attributes)} attrs)"
+
+
+class Workflow:
+    """An application workflow.  PROV-DM Agent."""
+
+    def __init__(self, workflow_id: Any, client):
+        self.id = workflow_id
+        self.client = client
+        self.begun = False
+        self.ended = False
+
+    def begin(self):
+        """Generator: announce the workflow start (never grouped)."""
+        if self.begun:
+            raise RuntimeError(f"workflow {self.id} already begun")
+        self.begun = True
+        record = {
+            "kind": "workflow_begin",
+            "workflow_id": self.id,
+            "time": self.client.now,
+        }
+        yield from self.client.capture(record, groupable=False)
+
+    def end(self, drain: bool = False):
+        """Generator: flush grouped records and announce completion.
+
+        With ``drain=True`` it additionally waits until every queued
+        message finished its QoS handshake — useful in tests, not part of
+        the paper's timed workflow path.
+        """
+        if not self.begun:
+            raise RuntimeError(f"workflow {self.id} never begun")
+        if self.ended:
+            raise RuntimeError(f"workflow {self.id} already ended")
+        self.ended = True
+        record = {
+            "kind": "workflow_end",
+            "workflow_id": self.id,
+            "time": self.client.now,
+        }
+        yield from self.client.capture(record, groupable=False)
+        # flush *after* the final record so group-everything clients
+        # (ProvLake) ship it too; ProvLight sends it directly either way.
+        yield from self.client.flush_groups()
+        if drain:
+            yield from self.client.drain()
+
+    def __repr__(self) -> str:
+        return f"Workflow({self.id!r})"
+
+
+class Task:
+    """A processing step of a workflow.  PROV-DM Activity.
+
+    ``dependencies`` (task ids) map to ``wasInformedBy``; input data map
+    to ``used`` and outputs to ``wasGeneratedBy``.
+    """
+
+    def __init__(
+        self,
+        task_id: Any,
+        workflow: Workflow,
+        transformation_id: Any = None,
+        dependencies: Iterable[Any] = (),
+    ):
+        self.id = task_id
+        self.workflow = workflow
+        self.transformation_id = transformation_id
+        self.dependencies = list(dependencies)
+        self.status = "created"
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    def _base_record(self, kind: str, data: Sequence[Data]) -> Dict[str, Any]:
+        return {
+            "kind": kind,
+            "workflow_id": self.workflow.id,
+            "task_id": self.id,
+            "transformation_id": self.transformation_id,
+            "dependencies": list(self.dependencies),
+            "time": self.workflow.client.now,
+            "status": self.status,
+            "data": [d.to_record() for d in data],
+        }
+
+    def begin(self, data: Sequence[Data] = ()):
+        """Generator: capture task start with its input data (``used``).
+
+        Begin records are never grouped so users can track started tasks
+        at runtime (paper Section IV-C).
+        """
+        if self.status not in ("created",):
+            raise RuntimeError(f"task {self.id} begin() in state {self.status}")
+        self.status = "running"
+        self.start_time = self.workflow.client.now
+        record = self._base_record("task_begin", data)
+        yield from self.workflow.client.capture(record, groupable=False)
+
+    def end(self, data: Sequence[Data] = ()):
+        """Generator: capture task completion with its outputs
+        (``wasGeneratedBy``).  End records participate in grouping."""
+        if self.status != "running":
+            raise RuntimeError(f"task {self.id} end() in state {self.status}")
+        self.status = "finished"
+        self.end_time = self.workflow.client.now
+        record = self._base_record("task_end", data)
+        yield from self.workflow.client.capture(record, groupable=True)
+
+    def __repr__(self) -> str:
+        return f"Task({self.id!r}, wf={self.workflow.id!r}, {self.status})"

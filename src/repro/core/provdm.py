@@ -1,0 +1,187 @@
+"""W3C PROV-DM core structures.
+
+The paper's Table V maps ProvLight's three classes onto PROV-DM:
+
+========  ==========  =============================================
+PROV-DM   ProvLight   relationships
+========  ==========  =============================================
+Agent     Workflow    —
+Activity  Task        wasAssociatedWith(workflow), wasInformedBy
+                      (dependencies), used / wasGeneratedBy (data)
+Entity    Data        wasAttributedTo(workflow), wasDerivedFrom
+========  ==========  =============================================
+
+:class:`ProvDocument` is the interchange structure produced by the
+provenance data translator; :func:`document_from_records` rebuilds a
+document from captured ProvLight records, which the tests use to verify
+the Table V mapping end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "RELATION_TYPES",
+    "ProvError",
+    "ProvDocument",
+    "document_from_records",
+]
+
+RELATION_TYPES = (
+    "wasAssociatedWith",
+    "wasAttributedTo",
+    "used",
+    "wasGeneratedBy",
+    "wasInformedBy",
+    "wasDerivedFrom",
+)
+
+
+class ProvError(ValueError):
+    """Invalid PROV-DM construction."""
+
+
+@dataclass
+class ProvDocument:
+    """A minimal PROV-DM graph: typed nodes plus typed binary relations."""
+
+    agents: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    activities: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    entities: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    relations: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    # -- node constructors -------------------------------------------------
+    def agent(self, agent_id: str, **attrs) -> str:
+        self.agents.setdefault(str(agent_id), {}).update(attrs)
+        return str(agent_id)
+
+    def activity(
+        self,
+        activity_id: str,
+        start_time: Optional[float] = None,
+        end_time: Optional[float] = None,
+        **attrs,
+    ) -> str:
+        record = self.activities.setdefault(str(activity_id), {})
+        if start_time is not None:
+            record["startTime"] = start_time
+        if end_time is not None:
+            record["endTime"] = end_time
+        record.update(attrs)
+        return str(activity_id)
+
+    def entity(self, entity_id: str, **attrs) -> str:
+        self.entities.setdefault(str(entity_id), {}).update(attrs)
+        return str(entity_id)
+
+    # -- relations -----------------------------------------------------------
+    def _relate(self, relation: str, src: str, dst: str) -> None:
+        if relation not in RELATION_TYPES:
+            raise ProvError(f"unknown relation {relation!r}")
+        entry = (relation, str(src), str(dst))
+        if entry not in self.relations:
+            self.relations.append(entry)
+
+    def was_associated_with(self, activity: str, agent: str) -> None:
+        self._relate("wasAssociatedWith", activity, agent)
+
+    def was_attributed_to(self, entity: str, agent: str) -> None:
+        self._relate("wasAttributedTo", entity, agent)
+
+    def used(self, activity: str, entity: str) -> None:
+        self._relate("used", activity, entity)
+
+    def was_generated_by(self, entity: str, activity: str) -> None:
+        self._relate("wasGeneratedBy", entity, activity)
+
+    def was_informed_by(self, informed: str, informant: str) -> None:
+        self._relate("wasInformedBy", informed, informant)
+
+    def was_derived_from(self, derived: str, source: str) -> None:
+        self._relate("wasDerivedFrom", derived, source)
+
+    # -- queries / validation -----------------------------------------------
+    def relations_of(self, relation: str) -> List[Tuple[str, str]]:
+        """All (src, dst) pairs of the given relation type."""
+        return [(s, d) for r, s, d in self.relations if r == relation]
+
+    def validate(self) -> None:
+        """Check referential integrity of every relation.
+
+        Raises :class:`ProvError` on dangling references or relations
+        whose endpoints have the wrong PROV type.
+        """
+        domains = {
+            "wasAssociatedWith": (self.activities, self.agents),
+            "wasAttributedTo": (self.entities, self.agents),
+            "used": (self.activities, self.entities),
+            "wasGeneratedBy": (self.entities, self.activities),
+            "wasInformedBy": (self.activities, self.activities),
+            "wasDerivedFrom": (self.entities, self.entities),
+        }
+        for relation, src, dst in self.relations:
+            src_domain, dst_domain = domains[relation]
+            if src not in src_domain:
+                raise ProvError(f"{relation}: unknown source {src!r}")
+            if dst not in dst_domain:
+                raise ProvError(f"{relation}: unknown target {dst!r}")
+
+    def to_prov_json(self) -> Dict[str, Any]:
+        """Serialize to a PROV-JSON-style dictionary."""
+        doc: Dict[str, Any] = {
+            "agent": {k: dict(v) for k, v in self.agents.items()},
+            "activity": {k: dict(v) for k, v in self.activities.items()},
+            "entity": {k: dict(v) for k, v in self.entities.items()},
+        }
+        for relation in RELATION_TYPES:
+            pairs = self.relations_of(relation)
+            if pairs:
+                doc[relation] = [
+                    {"src": src, "dst": dst} for src, dst in pairs
+                ]
+        return doc
+
+    def __len__(self) -> int:
+        return len(self.agents) + len(self.activities) + len(self.entities)
+
+
+def document_from_records(records: Iterable[Dict[str, Any]]) -> ProvDocument:
+    """Rebuild a PROV-DM document from captured ProvLight records.
+
+    Implements exactly the Table V mapping; unknown record kinds raise.
+    """
+    doc = ProvDocument()
+    for record in records:
+        kind = record.get("kind")
+        wf = f"workflow:{record['workflow_id']}"
+        if kind in ("workflow_begin", "workflow_end"):
+            doc.agent(wf)
+            continue
+        if kind not in ("task_begin", "task_end"):
+            raise ProvError(f"unknown record kind {kind!r}")
+        doc.agent(wf)
+        task = f"task:{record['task_id']}"
+        if kind == "task_begin":
+            doc.activity(task, start_time=record.get("time"), status=record.get("status"))
+        else:
+            doc.activity(task, end_time=record.get("time"), status=record.get("status"))
+        doc.was_associated_with(task, wf)
+        for dep in record.get("dependencies", ()):
+            dep_task = f"task:{dep}"
+            doc.activity(dep_task)
+            doc.was_informed_by(task, dep_task)
+        for item in record.get("data", ()):
+            entity = f"data:{item['id']}"
+            doc.entity(entity, attributes=dict(item.get("attributes", {})))
+            doc.was_attributed_to(entity, wf)
+            if kind == "task_begin":
+                doc.used(task, entity)
+            else:
+                doc.was_generated_by(entity, task)
+            for source in item.get("derivations", ()):
+                src_entity = f"data:{source}"
+                doc.entity(src_entity)
+                doc.was_derived_from(entity, src_entity)
+    return doc

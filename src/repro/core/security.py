@@ -1,0 +1,106 @@
+"""Payload protection for Edge-to-Cloud transmission (paper future work).
+
+The paper's conclusion lists "secure the data transmission from the Edge
+devices to the provenance system" as future work; this module implements
+that extension for the reproduction: authenticated payload encryption
+between the capture client and the provenance data translator, sharing a
+pre-provisioned symmetric key.
+
+Construction (standard-library only, since the environment is offline):
+
+* keystream: SHA-256 in counter mode over ``key || nonce || counter``
+  (a textbook stream cipher — fine for a research prototype, documented
+  as NOT a substitute for a vetted AEAD in production);
+* integrity/authenticity: HMAC-SHA256 over ``nonce || ciphertext``,
+  truncated to 16 bytes (encrypt-then-MAC);
+* nonce: 16 random bytes per payload.
+
+Wire layout: ``nonce (16) | tag (16) | ciphertext``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from typing import Optional
+
+__all__ = ["PayloadCipher", "AuthenticationError", "derive_key"]
+
+NONCE_SIZE = 16
+TAG_SIZE = 16
+_BLOCK = 32  # sha256 digest size
+
+
+class AuthenticationError(ValueError):
+    """Payload failed integrity verification (tampered or wrong key)."""
+
+
+def derive_key(secret: str | bytes, salt: str | bytes = "provlight") -> bytes:
+    """Derive a 32-byte key from a shared secret (PBKDF2-HMAC-SHA256)."""
+    if isinstance(secret, str):
+        secret = secret.encode()
+    if isinstance(salt, str):
+        salt = salt.encode()
+    return hashlib.pbkdf2_hmac("sha256", secret, salt, iterations=10_000)
+
+
+class PayloadCipher:
+    """Symmetric authenticated encryption for provenance payloads."""
+
+    def __init__(self, key: bytes, rng: Optional[object] = None):
+        if not isinstance(key, (bytes, bytearray)) or len(key) < 16:
+            raise ValueError("key must be at least 16 bytes; use derive_key()")
+        self._key = bytes(key)
+        self._mac_key = hashlib.sha256(b"mac" + self._key).digest()
+        self._rng = rng  # numpy Generator for deterministic tests
+
+    # -- internals ---------------------------------------------------------
+    def _nonce(self) -> bytes:
+        if self._rng is not None:
+            return bytes(int(b) for b in self._rng.integers(0, 256, NONCE_SIZE))
+        return os.urandom(NONCE_SIZE)
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            block = hashlib.sha256(
+                self._key + nonce + counter.to_bytes(8, "little")
+            ).digest()
+            out.extend(block)
+            counter += 1
+        return bytes(out[:length])
+
+    def _tag(self, nonce: bytes, ciphertext: bytes) -> bytes:
+        return hmac.new(self._mac_key, nonce + ciphertext, hashlib.sha256).digest()[
+            :TAG_SIZE
+        ]
+
+    # -- API ---------------------------------------------------------------
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt-then-MAC; returns ``nonce | tag | ciphertext``."""
+        if not isinstance(plaintext, (bytes, bytearray)):
+            raise TypeError("plaintext must be bytes")
+        nonce = self._nonce()
+        stream = self._keystream(nonce, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        return nonce + self._tag(nonce, ciphertext) + ciphertext
+
+    def decrypt(self, blob: bytes) -> bytes:
+        """Verify and decrypt; raises :class:`AuthenticationError`."""
+        if len(blob) < NONCE_SIZE + TAG_SIZE:
+            raise AuthenticationError("payload too short")
+        nonce = blob[:NONCE_SIZE]
+        tag = blob[NONCE_SIZE : NONCE_SIZE + TAG_SIZE]
+        ciphertext = blob[NONCE_SIZE + TAG_SIZE :]
+        expected = self._tag(nonce, ciphertext)
+        if not hmac.compare_digest(tag, expected):
+            raise AuthenticationError("authentication tag mismatch")
+        stream = self._keystream(nonce, len(ciphertext))
+        return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Wire growth per payload."""
+        return NONCE_SIZE + TAG_SIZE

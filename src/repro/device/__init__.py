@@ -1,0 +1,26 @@
+"""Device models: CPU, memory, radio and energy accounting.
+
+The paper evaluates on two device classes — A8-M3 IoT boards and Xeon
+cloud servers — whose specs live in :mod:`repro.device.specs`.  Work is
+charged in calibrated reference-seconds (see :mod:`repro.calibration`).
+"""
+
+from .cpu import Cpu
+from .device import Device
+from .energy import EnergyMeter
+from .memory import Memory, MemoryExceeded
+from .radio import Radio
+from .specs import A8M3, XEON_GOLD_5220, DeviceSpec, spec_by_name
+
+__all__ = [
+    "Cpu",
+    "Device",
+    "EnergyMeter",
+    "Memory",
+    "MemoryExceeded",
+    "Radio",
+    "DeviceSpec",
+    "A8M3",
+    "XEON_GOLD_5220",
+    "spec_by_name",
+]

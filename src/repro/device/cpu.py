@@ -1,0 +1,117 @@
+"""CPU model: turns calibrated work amounts into simulated time.
+
+Work is specified in *reference seconds* (time the operation takes on the
+A8-M3, see :mod:`repro.calibration`) in up to three components:
+
+``compute_s``
+    busy CPU, interpreter-bound; scales with ``compute_speedup``;
+``io_busy_s``
+    busy CPU in syscall paths; scales with ``io_speedup`` (with floor);
+``io_wait_s``
+    blocked-but-idle time (kernel waits, blocking socket calls); the
+    process is delayed but no core is held busy.
+
+Busy time is accounted per *tag* so the harness can attribute utilization
+to "capture" vs "workload" exactly like the paper's Fig. 6a does.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generator
+
+from ..simkernel import Environment, Resource, TimeWeighted
+from .specs import DeviceSpec
+
+__all__ = ["Cpu"]
+
+
+class Cpu:
+    """A multi-core CPU shared by the processes running on one device."""
+
+    def __init__(self, env: Environment, spec: DeviceSpec):
+        self.env = env
+        self.spec = spec
+        self._cores = Resource(env, capacity=spec.cores)
+        #: number of busy cores over time (for utilization and energy)
+        self.busy_cores = TimeWeighted(env, 0)
+        self._busy_time_by_tag: Dict[str, float] = defaultdict(float)
+        self._started = env.now
+
+    # -- execution ---------------------------------------------------------
+    def run(
+        self,
+        compute_s: float = 0.0,
+        io_busy_s: float = 0.0,
+        io_wait_s: float = 0.0,
+        tag: str = "workload",
+    ) -> Generator:
+        """Generator performing the given work; use as ``yield from``.
+
+        Busy components hold one core for their (scaled) duration; the wait
+        component delays the caller without occupying a core.
+        """
+        busy = self.spec.scale_compute(compute_s) + self.spec.scale_io(io_busy_s)
+        if busy > 0:
+            with self._cores.request() as req:
+                yield req
+                self.busy_cores.add(1)
+                try:
+                    yield self.env.timeout(busy)
+                finally:
+                    self.busy_cores.add(-1)
+                    self._busy_time_by_tag[tag] += busy
+        wait = self.spec.scale_io(io_wait_s)
+        if wait > 0:
+            yield self.env.timeout(wait)
+
+    def run_async(
+        self,
+        compute_s: float = 0.0,
+        io_busy_s: float = 0.0,
+        io_wait_s: float = 0.0,
+        tag: str = "background",
+    ):
+        """Schedule :meth:`run` as an independent process (fire and forget).
+
+        Models work done by a background thread (e.g. ProvLight's async
+        sender): it consumes CPU and shows up in utilization, but does not
+        delay the caller.
+        """
+        return self.env.process(
+            self.run(compute_s, io_busy_s, io_wait_s, tag=tag),
+            name=f"cpu-async-{tag}",
+        )
+
+    # -- accounting ---------------------------------------------------------
+    def busy_time(self, tag: str | None = None) -> float:
+        """Accumulated busy seconds, for one tag or all tags."""
+        if tag is not None:
+            return self._busy_time_by_tag.get(tag, 0.0)
+        return sum(self._busy_time_by_tag.values())
+
+    def busy_tags(self) -> Dict[str, float]:
+        """Snapshot of per-tag busy seconds."""
+        return dict(self._busy_time_by_tag)
+
+    def utilization(self, tag: str | None = None) -> float:
+        """Mean core utilization in [0, 1] since creation (or reset).
+
+        With a tag, the utilization attributable to that tag only —
+        matching the paper's "CPU usage of the capture library".
+        """
+        elapsed = self.env.now - self._started
+        if elapsed <= 0:
+            return 0.0
+        if tag is None:
+            return self.busy_cores.integral() / (elapsed * self.spec.cores)
+        return self._busy_time_by_tag.get(tag, 0.0) / (elapsed * self.spec.cores)
+
+    def reset_accounting(self) -> None:
+        """Restart utilization accounting from the current instant."""
+        self._busy_time_by_tag.clear()
+        self.busy_cores.reset()
+        self._started = self.env.now
+
+    def __repr__(self) -> str:
+        return f"<Cpu {self.spec.name} cores={self.spec.cores}>"

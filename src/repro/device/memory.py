@@ -1,0 +1,80 @@
+"""Tagged resident-memory accounting for a device.
+
+The paper's Fig. 6b reports the capture library's memory usage relative to
+the device's RAM.  We track allocations per tag ("workload",
+"capture-static", "capture-buffers", ...) with current and peak values, so
+the harness can report exactly the capture-attributable share.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+from .specs import DeviceSpec
+
+__all__ = ["Memory", "MemoryExceeded"]
+
+
+class MemoryExceeded(RuntimeError):
+    """Raised in strict mode when allocations exceed device RAM."""
+
+
+class Memory:
+    """Byte-granular allocation ledger with per-tag peaks."""
+
+    def __init__(self, spec: DeviceSpec, strict: bool = False):
+        self.spec = spec
+        self.strict = strict
+        self._current: Dict[str, int] = defaultdict(int)
+        self._peak: Dict[str, int] = defaultdict(int)
+        self._peak_total = 0
+
+    # -- operations ---------------------------------------------------------
+    def allocate(self, nbytes: int, tag: str = "workload") -> None:
+        """Record an allocation of ``nbytes`` under ``tag``."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        self._current[tag] += nbytes
+        self._peak[tag] = max(self._peak[tag], self._current[tag])
+        total = self.used()
+        self._peak_total = max(self._peak_total, total)
+        if self.strict and total > self.spec.ram_bytes:
+            raise MemoryExceeded(
+                f"{self.spec.name}: {total} bytes used > {self.spec.ram_bytes} RAM"
+            )
+
+    def free(self, nbytes: int, tag: str = "workload") -> None:
+        """Record a release of ``nbytes`` under ``tag``."""
+        if nbytes < 0:
+            raise ValueError(f"negative free: {nbytes}")
+        if nbytes > self._current[tag]:
+            raise ValueError(
+                f"freeing {nbytes} bytes from tag {tag!r} holding {self._current[tag]}"
+            )
+        self._current[tag] -= nbytes
+
+    # -- inspection -----------------------------------------------------------
+    def used(self, tag: str | None = None) -> int:
+        """Bytes currently allocated (for one tag or in total)."""
+        if tag is not None:
+            return self._current.get(tag, 0)
+        return sum(self._current.values())
+
+    def peak(self, tag: str | None = None) -> int:
+        """Peak bytes (for one tag, or the all-tags-total peak)."""
+        if tag is not None:
+            return self._peak.get(tag, 0)
+        return self._peak_total
+
+    def fraction_of_ram(self, tag: str | None = None, peak: bool = True) -> float:
+        """Peak (or current) usage as a fraction of device RAM."""
+        value = self.peak(tag) if peak else self.used(tag)
+        return value / self.spec.ram_bytes
+
+    def tags(self) -> Dict[str, int]:
+        """Snapshot of current usage per tag."""
+        return {tag: n for tag, n in self._current.items() if n}
+
+    def __repr__(self) -> str:
+        return f"<Memory {self.spec.name} used={self.used()}/{self.spec.ram_bytes}>"

@@ -1,0 +1,56 @@
+"""Radio / NIC accounting for a device.
+
+The radio does not shape traffic (links in :mod:`repro.net` own the timing
+model); it is the bridge between the network layer and the device's energy
+meter and byte counters.  The paper's Fig. 6c "network usage" is read from
+these counters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simkernel import Counter, Environment, RateMeter
+from .energy import EnergyMeter
+
+__all__ = ["Radio"]
+
+
+class Radio:
+    """Per-device transmit/receive accounting."""
+
+    def __init__(self, env: Environment, energy: Optional[EnergyMeter] = None):
+        self.env = env
+        self.energy = energy
+        self.tx = Counter("tx-bytes")
+        self.rx = Counter("rx-bytes")
+        self.tx_rate = RateMeter(env)
+        self.rx_rate = RateMeter(env)
+
+    def on_transmit(self, nbytes: int) -> None:
+        """Called by the network layer when this device sends a packet."""
+        self.tx.record(nbytes)
+        self.tx_rate.record(nbytes)
+        if self.energy is not None:
+            self.energy.on_transmit(nbytes)
+
+    def on_receive(self, nbytes: int) -> None:
+        """Called by the network layer when this device receives a packet."""
+        self.rx.record(nbytes)
+        self.rx_rate.record(nbytes)
+        if self.energy is not None:
+            self.energy.on_receive(nbytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved in both directions."""
+        return int(self.tx.total + self.rx.total)
+
+    def reset(self) -> None:
+        self.tx.reset()
+        self.rx.reset()
+        self.tx_rate = RateMeter(self.env)
+        self.rx_rate = RateMeter(self.env)
+
+    def __repr__(self) -> str:
+        return f"<Radio tx={self.tx.total:.0f}B rx={self.rx.total:.0f}B>"

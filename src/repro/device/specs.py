@@ -1,0 +1,98 @@
+"""Hardware specifications for the devices used in the paper's evaluation.
+
+Two device classes appear in the paper:
+
+* **A8-M3** (FIT IoT LAB): ARM Cortex-A8 @ 600 MHz, 256 MB RAM, 802.15.4
+  radio, 3.7 V / 650 mAh LiPo battery — the edge device under test;
+* **Grid'5000 ``gros``**: Intel Xeon Gold 5220 @ 2.20 GHz, 18 cores,
+  96 GB RAM — the cloud server hosting brokers/servers/backends, and the
+  client machine for the Table X cloud experiment.
+
+Speed is modelled relative to the A8-M3 with two scalars (see
+:mod:`repro.calibration` for why one scalar cannot fit the paper's
+edge-and-cloud numbers simultaneously): ``compute_speedup`` for
+interpreter-bound work and ``io_speedup`` for syscall-bound work, with an
+``io_floor_s`` under which per-call io work cannot shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..calibration import A8M3_ENERGY, EnergyCoefficients
+
+__all__ = ["DeviceSpec", "A8M3", "XEON_GOLD_5220", "spec_by_name"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a device model."""
+
+    name: str
+    cpu_freq_hz: float
+    cores: int
+    #: Speedup over the A8-M3 for interpreter-bound (compute-class) work.
+    compute_speedup: float
+    #: Speedup over the A8-M3 for syscall-bound (io-class) work.
+    io_speedup: float
+    #: Per-operation lower bound for scaled io work, in seconds.
+    io_floor_s: float
+    ram_bytes: int
+    #: Power-model coefficients; None for devices whose power the paper
+    #: does not measure (cloud servers).
+    energy: Optional[EnergyCoefficients] = None
+    #: Nominal radio/NIC line rate in bits/s (802.15.4 for the A8-M3;
+    #: the *effective* experiment bandwidth is set by the network links).
+    radio_bps: float = 250_000.0
+
+    def scale_compute(self, seconds_at_ref: float) -> float:
+        """Scale reference-device compute work to this device."""
+        if seconds_at_ref <= 0:
+            return 0.0
+        return seconds_at_ref / self.compute_speedup
+
+    def scale_io(self, seconds_at_ref: float) -> float:
+        """Scale reference-device io work to this device (with floor)."""
+        if seconds_at_ref <= 0:
+            return 0.0
+        return max(seconds_at_ref / self.io_speedup, self.io_floor_s)
+
+
+#: The paper's edge device (reference device: speedups are 1 by definition).
+A8M3 = DeviceSpec(
+    name="iotlab-a8-m3",
+    cpu_freq_hz=600e6,
+    cores=1,
+    compute_speedup=1.0,
+    io_speedup=1.0,
+    io_floor_s=0.0,
+    ram_bytes=256 * 1024 * 1024,
+    energy=A8M3_ENERGY,
+    radio_bps=250_000.0,
+)
+
+#: The paper's cloud server (Grid'5000 "gros" cluster).
+XEON_GOLD_5220 = DeviceSpec(
+    name="xeon-gold-5220",
+    cpu_freq_hz=2.2e9,
+    cores=18,
+    compute_speedup=30.0,
+    io_speedup=30.0,
+    io_floor_s=0.5e-3,
+    ram_bytes=96 * 1024 * 1024 * 1024,
+    energy=None,
+    radio_bps=1e9,
+)
+
+_SPECS = {spec.name: spec for spec in (A8M3, XEON_GOLD_5220)}
+
+
+def spec_by_name(name: str) -> DeviceSpec:
+    """Look up a built-in spec by its ``name`` field."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device spec {name!r}; known: {sorted(_SPECS)}"
+        ) from None

@@ -1,0 +1,138 @@
+"""Dataflow specifications: DfAnalyzer's prospective provenance model.
+
+A *dataflow* is a named pipeline of *transformations*, each consuming and
+producing *datasets* with declared attributes.  The paper's Provenance
+Manager uses these specifications to "visualize dataflow specifications
+(i.e., data attributes of each dataset)" — here they also validate
+ingested tasks against the declared pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["AttributeSpec", "DatasetSpec", "TransformationSpec", "DataflowSpec"]
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute of a dataset."""
+
+    name: str
+    dtype: str = "numeric"  # "numeric" | "text" | "list"
+
+    def validates(self, value) -> bool:
+        if value is None:
+            return True
+        if self.dtype == "numeric":
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self.dtype == "text":
+            return isinstance(value, str)
+        if self.dtype == "list":
+            return isinstance(value, (list, tuple))
+        return True
+
+
+@dataclass
+class DatasetSpec:
+    """A named dataset with typed attributes."""
+
+    tag: str
+    attributes: List[AttributeSpec] = field(default_factory=list)
+
+    def attribute(self, name: str) -> Optional[AttributeSpec]:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+    def validate_elements(self, elements: Dict) -> List[str]:
+        """Return a list of violations ([] when clean)."""
+        problems = []
+        for key, value in elements.items():
+            spec = self.attribute(key)
+            if spec is None:
+                problems.append(f"undeclared attribute {key!r} in dataset {self.tag!r}")
+            elif not spec.validates(value):
+                problems.append(
+                    f"attribute {key!r} of dataset {self.tag!r} is not {spec.dtype}"
+                )
+        return problems
+
+
+@dataclass
+class TransformationSpec:
+    """A processing step: input and output dataset tags."""
+
+    tag: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+
+
+class DataflowSpec:
+    """A full dataflow: transformations plus dataset schemas."""
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.transformations: Dict[str, TransformationSpec] = {}
+        self.datasets: Dict[str, DatasetSpec] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_dataset(self, tag: str, attributes: Sequence[tuple] = ()) -> DatasetSpec:
+        """``attributes`` is a sequence of (name, dtype) pairs."""
+        if tag in self.datasets:
+            raise ValueError(f"dataset {tag!r} already declared")
+        spec = DatasetSpec(tag, [AttributeSpec(n, t) for n, t in attributes])
+        self.datasets[tag] = spec
+        return spec
+
+    def add_transformation(
+        self, tag: str, inputs: Sequence[str] = (), outputs: Sequence[str] = ()
+    ) -> TransformationSpec:
+        if tag in self.transformations:
+            raise ValueError(f"transformation {tag!r} already declared")
+        for ds in list(inputs) + list(outputs):
+            if ds not in self.datasets:
+                raise ValueError(f"transformation {tag!r} references unknown dataset {ds!r}")
+        spec = TransformationSpec(tag, list(inputs), list(outputs))
+        self.transformations[tag] = spec
+        return spec
+
+    # -- inspection -----------------------------------------------------------
+    def transformation(self, tag: str) -> TransformationSpec:
+        spec = self.transformations.get(tag)
+        if spec is None:
+            raise KeyError(f"dataflow {self.tag!r} has no transformation {tag!r}")
+        return spec
+
+    def dataset(self, tag: str) -> DatasetSpec:
+        spec = self.datasets.get(tag)
+        if spec is None:
+            raise KeyError(f"dataflow {self.tag!r} has no dataset {tag!r}")
+        return spec
+
+    def describe(self) -> Dict:
+        """The structure DfAnalyzer's web UI renders."""
+        return {
+            "dataflow": self.tag,
+            "transformations": [
+                {"tag": t.tag, "inputs": list(t.inputs), "outputs": list(t.outputs)}
+                for t in self.transformations.values()
+            ],
+            "datasets": [
+                {
+                    "tag": d.tag,
+                    "attributes": [
+                        {"name": a.name, "type": a.dtype} for a in d.attributes
+                    ],
+                }
+                for d in self.datasets.values()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<DataflowSpec {self.tag} transformations={len(self.transformations)} "
+            f"datasets={len(self.datasets)}>"
+        )

@@ -1,0 +1,132 @@
+"""The paper's provenance queries, as reusable functions.
+
+Section I motivates provenance capture with two analysis queries over
+Federated Learning training:
+
+* (i) "What are the elapsed time and the training loss in the latest
+  epoch for each hyperparameter combination?"
+* (ii) "Retrieve the hyperparameters which obtained the 3 best accuracy
+  values for model m."
+
+Both are implemented here against a :class:`DfAnalyzerService`, with the
+metric/hyperparameter column names parameterized so the same queries work
+for any captured workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .ingestion import DfAnalyzerService
+
+__all__ = [
+    "top_k_by_metric",
+    "latest_epoch_metrics",
+    "task_durations",
+    "lineage_of",
+]
+
+
+def top_k_by_metric(
+    service: DfAnalyzerService,
+    dataflow_tag: str,
+    metric: str,
+    hyperparameters: Sequence[str],
+    k: int = 3,
+    dataset_tag: str | None = None,
+) -> List[Dict[str, Any]]:
+    """Paper query (ii): hyperparameters of the k best ``metric`` values."""
+    q = service.query("datasets").where("dataflow_tag", "==", dataflow_tag)
+    if dataset_tag is not None:
+        q = q.where("dataset_tag", "==", dataset_tag)
+    q = q.where_fn(lambda row: row.get(metric) is not None)
+    q = q.order_by(metric, desc=True).limit(k)
+    return q.select(*hyperparameters, metric).rows()
+
+
+def latest_epoch_metrics(
+    service: DfAnalyzerService,
+    dataflow_tag: str,
+    hyperparameters: Sequence[str],
+    epoch_column: str = "epoch",
+    metrics: Sequence[str] = ("elapsed_time", "loss"),
+) -> List[Dict[str, Any]]:
+    """Paper query (i): per hyperparameter combination, the metrics of the
+    latest epoch."""
+    rows = (
+        service.query("datasets")
+        .where("dataflow_tag", "==", dataflow_tag)
+        .where_fn(lambda row: row.get(epoch_column) is not None)
+        # only rows that actually carry at least one requested metric
+        # (input datasets share the epoch column but have no metrics)
+        .where_fn(lambda row: any(row.get(m) is not None for m in metrics))
+        .rows()
+    )
+    latest: Dict[tuple, Dict[str, Any]] = {}
+    for row in rows:
+        key = tuple(row.get(h) for h in hyperparameters)
+        current = latest.get(key)
+        if current is None or row[epoch_column] > current[epoch_column]:
+            latest[key] = row
+    out = []
+    for key, row in sorted(latest.items(), key=lambda kv: str(kv[0])):
+        result = dict(zip(hyperparameters, key))
+        result[epoch_column] = row[epoch_column]
+        for metric in metrics:
+            result[metric] = row.get(metric)
+        out.append(result)
+    return out
+
+
+def task_durations(service: DfAnalyzerService, dataflow_tag: str) -> List[Dict[str, Any]]:
+    """Elapsed wall time of every finished task (runtime steering view)."""
+    rows = (
+        service.query("tasks")
+        .where("dataflow_tag", "==", dataflow_tag)
+        .where("status", "==", "FINISHED")
+        .rows()
+    )
+    out = []
+    for row in rows:
+        begin, end = row.get("time_begin"), row.get("time_end")
+        duration = None
+        if isinstance(begin, (int, float)) and isinstance(end, (int, float)):
+            duration = end - begin
+        out.append(
+            {
+                "task_id": row["task_id"],
+                "transformation": row.get("transformation_tag"),
+                "duration": duration,
+            }
+        )
+    return out
+
+
+def lineage_of(
+    service: DfAnalyzerService, dataflow_tag: str, dataset_tag: str,
+    max_depth: int = 100,
+) -> List[str]:
+    """Walk ``derivations`` backwards: where did this data come from?"""
+    rows = (
+        service.query("datasets")
+        .where("dataflow_tag", "==", dataflow_tag)
+        .rows()
+    )
+    by_tag = {row["dataset_tag"]: row for row in rows}
+    chain: List[str] = []
+    current = dataset_tag
+    seen = set()
+    for _ in range(max_depth):
+        row = by_tag.get(current)
+        if row is None:
+            break
+        derivations = [d for d in (row.get("derivations") or "").split(",") if d]
+        if not derivations:
+            break
+        parent = derivations[0]
+        if parent in seen:
+            break  # defensive: cyclic lineage in malformed data
+        seen.add(parent)
+        chain.append(parent)
+        current = parent
+    return chain

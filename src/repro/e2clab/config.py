@@ -1,0 +1,248 @@
+"""E2Clab configuration schema.
+
+Three configuration files define an experiment (paper Fig. 2/Listing 2):
+
+* ``layers_services.yaml`` — environment (testbeds, provenance manager)
+  plus layers and the services on each layer;
+* ``network.yaml`` — constraints between layers (rate/delay/loss);
+* ``workflow.yaml`` — which workload each service runs, with parameters.
+
+This module parses (mini-)YAML into validated dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from . import miniyaml
+
+__all__ = [
+    "ConfigError",
+    "ServiceConfig",
+    "LayerConfig",
+    "EnvironmentConfig",
+    "LayersServicesConfig",
+    "NetworkConfig",
+    "NetworkRule",
+    "WorkflowEntry",
+    "WorkflowConfig",
+    "parse_layers_services",
+    "parse_network",
+    "parse_workflow",
+]
+
+
+class ConfigError(ValueError):
+    """Invalid experiment configuration."""
+
+
+@dataclass
+class ServiceConfig:
+    """One service deployment request on a layer."""
+
+    name: str
+    environment: str
+    quantity: int = 1
+    cluster: Optional[str] = None
+    arch: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class LayerConfig:
+    name: str
+    services: List[ServiceConfig] = field(default_factory=list)
+
+    def service(self, name: str) -> ServiceConfig:
+        for svc in self.services:
+            if svc.name == name:
+                return svc
+        raise KeyError(f"layer {self.name!r} has no service {name!r}")
+
+
+@dataclass
+class EnvironmentConfig:
+    """Testbed bindings and global experiment settings."""
+
+    testbeds: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    provenance: Optional[str] = None  # e.g. "ProvenanceManager"
+    seed: int = 0
+
+
+@dataclass
+class LayersServicesConfig:
+    environment: EnvironmentConfig
+    layers: List[LayerConfig]
+
+    def layer(self, name: str) -> LayerConfig:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer {name!r}")
+
+    def all_services(self) -> List[tuple]:
+        """(layer, service) pairs across all layers."""
+        return [(layer, svc) for layer in self.layers for svc in layer.services]
+
+
+@dataclass
+class NetworkRule:
+    """A constraint between two layers (maps to tc-netem on testbeds)."""
+
+    src: str
+    dst: str
+    rate: str = "1Gbit"
+    delay: str = "0ms"
+    jitter: str = "0ms"
+    loss: float = 0.0
+
+
+@dataclass
+class NetworkConfig:
+    rules: List[NetworkRule] = field(default_factory=list)
+
+
+@dataclass
+class WorkflowEntry:
+    """Binds a workload to the services of one layer."""
+
+    hosts: str  # "<layer>.<service>" or "<layer>.*"
+    workload: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    depends_on: List[str] = field(default_factory=list)
+
+
+@dataclass
+class WorkflowConfig:
+    entries: List[WorkflowEntry] = field(default_factory=list)
+
+
+def _as_mapping(value, what: str) -> dict:
+    if not isinstance(value, dict):
+        raise ConfigError(f"{what} must be a mapping, got {type(value).__name__}")
+    return value
+
+
+def parse_layers_services(source: str | dict) -> LayersServicesConfig:
+    """Parse a layers & services document (text or pre-parsed mapping)."""
+    doc = miniyaml.loads(source) if isinstance(source, str) else source
+    doc = _as_mapping(doc, "layers_services document")
+
+    env_doc = _as_mapping(doc.get("environment", {}), "environment")
+    known_env_keys = {"provenance", "seed"}
+    testbeds: Dict[str, Dict[str, Any]] = {}
+    for key, value in env_doc.items():
+        if key in known_env_keys:
+            continue
+        testbeds[key] = _as_mapping(value if value is not None else {}, f"environment.{key}")
+    environment = EnvironmentConfig(
+        testbeds=testbeds,
+        provenance=env_doc.get("provenance"),
+        seed=int(env_doc.get("seed", 0)),
+    )
+
+    layers_doc = doc.get("layers")
+    if not isinstance(layers_doc, list) or not layers_doc:
+        raise ConfigError("layers must be a non-empty list")
+    layers: List[LayerConfig] = []
+    for layer_doc in layers_doc:
+        layer_doc = _as_mapping(layer_doc, "layer entry")
+        if "name" not in layer_doc:
+            raise ConfigError("each layer needs a name")
+        services: List[ServiceConfig] = []
+        for svc_doc in layer_doc.get("services") or []:
+            svc_doc = dict(_as_mapping(svc_doc, "service entry"))
+            if "name" not in svc_doc:
+                raise ConfigError(f"service in layer {layer_doc['name']!r} needs a name")
+            if "environment" not in svc_doc:
+                raise ConfigError(
+                    f"service {svc_doc['name']!r} needs an environment (testbed)"
+                )
+            env_name = str(svc_doc.pop("environment"))
+            if env_name not in testbeds:
+                raise ConfigError(
+                    f"service {svc_doc['name']!r} references unknown environment "
+                    f"{env_name!r}; declared: {sorted(testbeds)}"
+                )
+            quantity = int(svc_doc.pop("qtd", svc_doc.pop("quantity", 1)))
+            if quantity <= 0:
+                raise ConfigError(f"service {svc_doc['name']!r} quantity must be >= 1")
+            services.append(
+                ServiceConfig(
+                    name=str(svc_doc.pop("name")),
+                    environment=env_name,
+                    quantity=quantity,
+                    cluster=svc_doc.pop("cluster", None),
+                    arch=svc_doc.pop("arch", None),
+                    extra=svc_doc,
+                )
+            )
+        layers.append(LayerConfig(name=str(layer_doc["name"]), services=services))
+
+    names = [l.name for l in layers]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate layer names in {names}")
+    return LayersServicesConfig(environment=environment, layers=layers)
+
+
+def parse_network(source: str | dict | list) -> NetworkConfig:
+    """Parse a network-constraints document."""
+    doc = miniyaml.loads(source) if isinstance(source, str) else source
+    if isinstance(doc, dict):
+        doc = doc.get("networks", doc.get("rules"))
+    if doc is None:
+        return NetworkConfig(rules=[])
+    if not isinstance(doc, list):
+        raise ConfigError("network config must be a list of rules")
+    rules = []
+    for rule_doc in doc:
+        rule_doc = _as_mapping(rule_doc, "network rule")
+        try:
+            src, dst = str(rule_doc["src"]), str(rule_doc["dst"])
+        except KeyError as exc:
+            raise ConfigError(f"network rule missing {exc.args[0]!r}") from None
+        rules.append(
+            NetworkRule(
+                src=src,
+                dst=dst,
+                rate=str(rule_doc.get("rate", "1Gbit")),
+                delay=str(rule_doc.get("delay", "0ms")),
+                jitter=str(rule_doc.get("jitter", "0ms")),
+                loss=float(rule_doc.get("loss", 0.0)),
+            )
+        )
+    return NetworkConfig(rules=rules)
+
+
+def parse_workflow(source: str | dict | list) -> WorkflowConfig:
+    """Parse a workflow document."""
+    doc = miniyaml.loads(source) if isinstance(source, str) else source
+    if isinstance(doc, dict):
+        doc = doc.get("workflow")
+    if doc is None:
+        return WorkflowConfig(entries=[])
+    if not isinstance(doc, list):
+        raise ConfigError("workflow config must be a list of entries")
+    entries = []
+    for entry_doc in doc:
+        entry_doc = _as_mapping(entry_doc, "workflow entry")
+        if "hosts" not in entry_doc or "workload" not in entry_doc:
+            raise ConfigError("workflow entries need 'hosts' and 'workload'")
+        hosts = str(entry_doc["hosts"])
+        if "." not in hosts:
+            raise ConfigError(
+                f"hosts must be '<layer>.<service>' (or '<layer>.*'), got {hosts!r}"
+            )
+        depends = entry_doc.get("depends_on", [])
+        if isinstance(depends, str):
+            depends = [depends]
+        entries.append(
+            WorkflowEntry(
+                hosts=hosts,
+                workload=str(entry_doc["workload"]),
+                parameters=_as_mapping(entry_doc.get("parameters", {}) or {}, "parameters"),
+                depends_on=[str(d) for d in depends],
+            )
+        )
+    return WorkflowConfig(entries=entries)

@@ -1,0 +1,101 @@
+"""Layers & Services manager: materialize configured services on testbeds.
+
+Each service of quantity N becomes N simulated devices provisioned from
+its testbed and attached to the experiment network, with host names
+``<layer>-<service>-<i>`` (lowercased), e.g. ``edge-client-17``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..device import Device
+from ..net import Network
+from .config import LayerConfig, LayersServicesConfig, ServiceConfig
+from .testbeds import testbed_by_name
+
+__all__ = ["DeployedService", "LayersServicesManager"]
+
+
+@dataclass
+class DeployedService:
+    """A service with its provisioned devices."""
+
+    layer: str
+    config: ServiceConfig
+    devices: List[Device] = field(default_factory=list)
+
+    @property
+    def host_names(self) -> List[str]:
+        return [d.name for d in self.devices]
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.layer, self.config.name)
+
+
+class LayersServicesManager:
+    """Deploys a :class:`LayersServicesConfig` onto a network."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._deployed: Dict[Tuple[str, str], DeployedService] = {}
+
+    def deploy(self, config: LayersServicesConfig) -> List[DeployedService]:
+        """Provision every service of every layer."""
+        for layer in config.layers:
+            for svc in layer.services:
+                self._deploy_service(layer, svc)
+        return list(self._deployed.values())
+
+    def _deploy_service(self, layer: LayerConfig, svc: ServiceConfig) -> DeployedService:
+        key = (layer.name, svc.name)
+        if key in self._deployed:
+            raise ValueError(f"service {key} already deployed")
+        testbed = testbed_by_name(svc.environment)
+        prefix = f"{layer.name}-{svc.name}".lower()
+        devices = testbed.provision(
+            self.network,
+            svc.quantity,
+            prefix,
+            cluster=svc.cluster,
+            arch=svc.arch,
+        )
+        deployed = DeployedService(layer=layer.name, config=svc, devices=devices)
+        self._deployed[key] = deployed
+        return deployed
+
+    # -- lookups ------------------------------------------------------------
+    def service(self, layer: str, name: str) -> DeployedService:
+        try:
+            return self._deployed[(layer, name)]
+        except KeyError:
+            raise KeyError(
+                f"no deployed service {layer}.{name}; "
+                f"deployed: {sorted(self._deployed)}"
+            ) from None
+
+    def layer_services(self, layer: str) -> List[DeployedService]:
+        return [d for (l, _), d in self._deployed.items() if l == layer]
+
+    def layer_hosts(self, layer: str) -> List[str]:
+        return [h for svc in self.layer_services(layer) for h in svc.host_names]
+
+    def resolve(self, selector: str) -> List[DeployedService]:
+        """Resolve a ``layer.service`` selector (``layer.*`` for all)."""
+        if "." not in selector:
+            raise ValueError(f"selector must be 'layer.service', got {selector!r}")
+        layer, _, name = selector.partition(".")
+        if name in ("*", ""):
+            services = self.layer_services(layer)
+            if not services:
+                raise KeyError(f"no services deployed on layer {layer!r}")
+            return services
+        return [self.service(layer, name)]
+
+    def all_services(self) -> List[DeployedService]:
+        return list(self._deployed.values())
+
+    def __repr__(self) -> str:
+        return f"<LayersServicesManager services={len(self._deployed)}>"

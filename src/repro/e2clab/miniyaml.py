@@ -1,0 +1,270 @@
+"""A small YAML-subset parser for E2Clab configuration files.
+
+The environment has no PyYAML, and E2Clab configs (paper Listing 2) only
+use a disciplined subset, so this parser supports exactly that subset:
+
+* mappings (``key: value``) nested by indentation;
+* block lists (``- item``), where an item may be a scalar, an inline
+  mapping (``- name: Server, environment: g5k, qtd: 1`` — the paper's
+  style), or a nested block;
+* flow lists (``[a, b, c]``);
+* scalars: int, float, bool (true/false/yes/no), null (~/null), single-
+  and double-quoted strings, bare strings;
+* comments (``# ...``) and blank lines.
+
+Anchors, multi-document streams, block scalars and flow mappings are out
+of scope and raise :class:`MiniYamlError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["loads", "load_file", "MiniYamlError"]
+
+
+class MiniYamlError(ValueError):
+    """Malformed mini-YAML input."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+class _Line:
+    __slots__ = ("indent", "content", "number")
+
+    def __init__(self, indent: int, content: str, number: int):
+        self.indent = indent
+        self.content = content
+        self.number = number
+
+
+def _strip_comment(text: str) -> str:
+    """Remove a trailing comment, respecting quoted strings."""
+    quote = None
+    for i, ch in enumerate(text):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "#" and (i == 0 or text[i - 1] in " \t"):
+            return text[:i].rstrip()
+    return text.rstrip()
+
+
+def _tokenize(text: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise MiniYamlError("tabs are not allowed in indentation", number)
+        content = _strip_comment(raw)
+        if not content.strip():
+            continue
+        indent = len(content) - len(content.lstrip(" "))
+        lines.append(_Line(indent, content.strip(), number))
+    return lines
+
+
+def _parse_scalar(token: str, line_no: int) -> Any:
+    token = token.strip()
+    if token == "":
+        return None
+    if token[0] in "'\"":
+        if len(token) < 2 or token[-1] != token[0]:
+            raise MiniYamlError(f"unterminated string {token!r}", line_no)
+        return token[1:-1]
+    if token.startswith("[") :
+        if not token.endswith("]"):
+            raise MiniYamlError(f"unterminated flow list {token!r}", line_no)
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_scalar(part, line_no) for part in _split_top_level(inner)]
+    if token.startswith("{") or token.startswith("&") or token.startswith("*"):
+        raise MiniYamlError(f"unsupported YAML construct {token!r}", line_no)
+    lowered = token.lower()
+    if lowered in ("null", "~"):
+        return None
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _split_top_level(text: str) -> List[str]:
+    """Split on commas that are not inside quotes or brackets."""
+    parts, depth, quote, start = [], 0, None, 0
+    for i, ch in enumerate(text):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(text[start:i].strip())
+            start = i + 1
+    parts.append(text[start:].strip())
+    return [p for p in parts if p]
+
+
+def _split_key(content: str, line_no: int) -> Tuple[str, str]:
+    """Split ``key: rest`` respecting quoted keys."""
+    if content.startswith(("'", '"')):
+        quote = content[0]
+        end = content.find(quote, 1)
+        if end < 0 or not content[end + 1 :].lstrip().startswith(":"):
+            raise MiniYamlError(f"malformed quoted key in {content!r}", line_no)
+        key = content[1:end]
+        rest = content[end + 1 :].lstrip()[1:]
+        return key, rest.strip()
+    idx = content.find(":")
+    if idx < 0:
+        raise MiniYamlError(f"expected 'key: value', got {content!r}", line_no)
+    if idx + 1 < len(content) and content[idx + 1] not in " \t":
+        # "a:b" without space is a plain scalar in YAML; we treat it as a
+        # key only when a space (or end of line) follows the colon.
+        raise MiniYamlError(f"missing space after ':' in {content!r}", line_no)
+    return content[:idx].strip(), content[idx + 1 :].strip()
+
+
+def _looks_like_inline_mapping(text: str) -> bool:
+    if not text or text[0] in "'\"[{&*":
+        # quoted scalars and explicit flow/anchor constructs are handled
+        # (or rejected) by the scalar parser
+        return False
+    first = _split_top_level(text)[0]
+    quote = None
+    for i, ch in enumerate(first):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == ":":
+            return i > 0 and (i + 1 == len(first) or first[i + 1] in " \t")
+    return False
+
+
+def _parse_inline_mapping(text: str, line_no: int) -> dict:
+    result = {}
+    for part in _split_top_level(text):
+        key, rest = _split_key(part, line_no)
+        result[key] = _parse_scalar(rest, line_no)
+    return result
+
+
+class _Parser:
+    def __init__(self, lines: List[_Line]):
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self) -> Optional[_Line]:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def parse_block(self, indent: int) -> Any:
+        line = self.peek()
+        if line is None:
+            return None
+        if line.content.startswith("- ") or line.content == "-":
+            return self._parse_list(indent)
+        return self._parse_mapping(indent)
+
+    def _parse_list(self, indent: int) -> list:
+        items: list = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                return items
+            if line.indent > indent:
+                raise MiniYamlError("unexpected indentation", line.number)
+            if not (line.content.startswith("- ") or line.content == "-"):
+                return items
+            body = line.content[2:].strip() if line.content != "-" else ""
+            self.pos += 1
+            if not body:
+                # nested block under the dash
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > indent:
+                    items.append(self.parse_block(nxt.indent))
+                else:
+                    items.append(None)
+            elif _looks_like_inline_mapping(body):
+                item = _parse_inline_mapping(body, line.number)
+                # the mapping may continue on more-indented lines
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > indent and not nxt.content.startswith("- "):
+                    deeper = self._parse_mapping(nxt.indent)
+                    item.update(deeper)
+                items.append(item)
+            else:
+                items.append(_parse_scalar(body, line.number))
+
+    def _parse_mapping(self, indent: int) -> dict:
+        result: dict = {}
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                return result
+            if line.indent > indent:
+                raise MiniYamlError("unexpected indentation", line.number)
+            if line.content.startswith("- "):
+                return result
+            key, rest = _split_key(line.content, line.number)
+            if key in result:
+                raise MiniYamlError(f"duplicate key {key!r}", line.number)
+            self.pos += 1
+            if rest:
+                if _looks_like_inline_mapping(rest):
+                    # the paper's compact style: `g5k: cluster: gros` and
+                    # `- name: Server, environment: g5k, qtd: 1`
+                    result[key] = _parse_inline_mapping(rest, line.number)
+                else:
+                    result[key] = _parse_scalar(rest, line.number)
+            else:
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > indent:
+                    result[key] = self.parse_block(nxt.indent)
+                elif nxt is not None and nxt.indent == indent and (
+                    nxt.content.startswith("- ")
+                ):
+                    result[key] = self._parse_list(indent)
+                else:
+                    result[key] = None
+
+
+def loads(text: str) -> Any:
+    """Parse a mini-YAML document into Python objects."""
+    lines = _tokenize(text)
+    if not lines:
+        return None
+    parser = _Parser(lines)
+    value = parser.parse_block(lines[0].indent)
+    trailing = parser.peek()
+    if trailing is not None:
+        raise MiniYamlError(
+            f"unparsed content {trailing.content!r}", trailing.number
+        )
+    return value
+
+
+def load_file(path) -> Any:
+    """Parse a mini-YAML file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())

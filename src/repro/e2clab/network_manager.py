@@ -1,0 +1,65 @@
+"""Network manager: apply layer-to-layer constraints to the simulation.
+
+E2Clab's network manager drives ``tc netem`` on real testbeds; here each
+rule (``src`` layer -> ``dst`` layer, rate/delay/jitter/loss) becomes a
+set of simulated duplex links between the layers' hosts, created or
+reconfigured through :mod:`repro.net.netem`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..net import Network, NetworkConstraint, apply_constraints
+from .config import NetworkConfig
+from .layers import LayersServicesManager
+
+__all__ = ["NetworkManager"]
+
+
+class NetworkManager:
+    """Applies :class:`NetworkConfig` rules between deployed layers."""
+
+    def __init__(self, network: Network, layers: LayersServicesManager):
+        self.network = network
+        self.layers = layers
+        self.applied: List[Tuple[str, str]] = []
+
+    def apply(self, config: NetworkConfig) -> List[Tuple[str, str]]:
+        """Create/configure links for every rule; returns host pairs."""
+        constraints = []
+        for rule in config.rules:
+            src_hosts = self.layers.layer_hosts(rule.src)
+            dst_hosts = self.layers.layer_hosts(rule.dst)
+            if not src_hosts:
+                raise KeyError(f"network rule references empty layer {rule.src!r}")
+            if not dst_hosts:
+                raise KeyError(f"network rule references empty layer {rule.dst!r}")
+            constraints.append(
+                NetworkConstraint(
+                    src=src_hosts,
+                    dst=dst_hosts,
+                    rate=rule.rate,
+                    delay=rule.delay,
+                    jitter=rule.jitter,
+                    loss=rule.loss,
+                )
+            )
+        configured = apply_constraints(self.network, constraints)
+        self.applied.extend(configured)
+        return configured
+
+    def reconfigure(self, src_layer: str, dst_layer: str, **params) -> int:
+        """Change an existing layer pair at runtime (netem-style).
+
+        Accepts ``bandwidth_bps``, ``latency_s``, ``jitter_s``, ``loss``;
+        returns the number of host pairs touched.
+        """
+        count = 0
+        for src in self.layers.layer_hosts(src_layer):
+            for dst in self.layers.layer_hosts(dst_layer):
+                self.network.configure_link(src, dst, **params)
+                count += 1
+        if count == 0:
+            raise KeyError(f"no links between layers {src_layer!r} and {dst_layer!r}")
+        return count

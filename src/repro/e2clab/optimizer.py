@@ -1,0 +1,125 @@
+"""Optimization manager: search over experiment configurations.
+
+E2Clab's optimization manager explores configuration variants to optimize
+workflow performance (paper Sections II-C and VII).  This is a compact,
+dependency-free implementation of the same idea: a declarative parameter
+space, grid or random search, and a history of evaluated points.
+
+The objective is any callable ``params -> float`` (lower is better) —
+typically a closure that deploys and runs an :class:`Experiment` with the
+given parameters and returns the metric to minimize (e.g. capture
+overhead, energy, makespan).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SearchSpace", "OptimizationManager", "Trial"]
+
+
+@dataclass
+class SearchSpace:
+    """Declarative parameter space.
+
+    * ``choices``: name -> explicit list of values (grid-able);
+    * ``ranges``: name -> (low, high) continuous bounds (random search).
+    """
+
+    choices: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    ranges: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if not self.choices and not self.ranges:
+            raise ValueError("empty search space")
+        for name, values in self.choices.items():
+            if len(values) == 0:
+                raise ValueError(f"choice parameter {name!r} has no values")
+        for name, (low, high) in self.ranges.items():
+            if not low < high:
+                raise ValueError(f"range parameter {name!r}: need low < high")
+
+    def grid(self) -> Iterable[Dict[str, Any]]:
+        """All combinations of the choice parameters (ranges excluded)."""
+        if self.ranges:
+            raise ValueError("grid search over continuous ranges is not defined")
+        names = sorted(self.choices)
+        for combo in itertools.product(*(self.choices[n] for n in names)):
+            yield dict(zip(names, combo))
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, Any]:
+        """One random point across choices and ranges."""
+        point: Dict[str, Any] = {}
+        for name in sorted(self.choices):
+            values = self.choices[name]
+            point[name] = values[int(rng.integers(len(values)))]
+        for name in sorted(self.ranges):
+            low, high = self.ranges[name]
+            point[name] = float(rng.uniform(low, high))
+        return point
+
+
+@dataclass
+class Trial:
+    """One evaluated configuration."""
+
+    params: Dict[str, Any]
+    value: float
+    index: int
+
+
+class OptimizationManager:
+    """Minimizes an objective over a search space."""
+
+    def __init__(
+        self,
+        objective: Callable[[Dict[str, Any]], float],
+        space: SearchSpace,
+        mode: str = "grid",
+        budget: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if mode not in ("grid", "random"):
+            raise ValueError(f"mode must be 'grid' or 'random', got {mode!r}")
+        space.validate()
+        if mode == "random" and budget is None:
+            raise ValueError("random search needs a budget")
+        self.objective = objective
+        self.space = space
+        self.mode = mode
+        self.budget = budget
+        self.rng = np.random.default_rng(seed)
+        self.history: List[Trial] = []
+
+    def run(self) -> Trial:
+        """Evaluate configurations; returns the best trial."""
+        if self.mode == "grid":
+            points: Iterable[Dict[str, Any]] = self.space.grid()
+            if self.budget is not None:
+                points = itertools.islice(points, self.budget)
+        else:
+            points = (self.space.sample(self.rng) for _ in range(self.budget))
+
+        for params in points:
+            value = float(self.objective(params))
+            self.history.append(Trial(params=params, value=value,
+                                      index=len(self.history)))
+        if not self.history:
+            raise RuntimeError("no configurations evaluated")
+        return self.best()
+
+    def best(self) -> Trial:
+        if not self.history:
+            raise RuntimeError("no trials yet")
+        return min(self.history, key=lambda t: t.value)
+
+    def as_table(self) -> List[Dict[str, Any]]:
+        """History in a render-friendly shape."""
+        return [
+            {"trial": t.index, **t.params, "objective": t.value}
+            for t in self.history
+        ]

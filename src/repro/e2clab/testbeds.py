@@ -1,0 +1,102 @@
+"""Simulated testbeds: Grid'5000, FIT IoT LAB and Chameleon.
+
+E2Clab deploys services onto real testbeds; here each testbed model
+provisions simulated :class:`~repro.device.Device` instances with the
+hardware spec of the requested cluster/architecture and registers them
+as network hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..device import A8M3, XEON_GOLD_5220, Device, DeviceSpec
+from ..net import Network
+
+__all__ = ["Testbed", "TESTBEDS", "testbed_by_name", "ProvisionError"]
+
+
+class ProvisionError(RuntimeError):
+    """The testbed cannot satisfy the resource request."""
+
+
+@dataclass(frozen=True)
+class Testbed:
+    """A named testbed with per-cluster device specs and capacity."""
+
+    name: str
+    clusters: Dict[str, DeviceSpec]
+    default_cluster: str
+    #: maximum devices per provisioning request (site capacity)
+    capacity: int = 1024
+
+    def spec_for(self, cluster: Optional[str] = None, arch: Optional[str] = None) -> DeviceSpec:
+        key = arch or cluster or self.default_cluster
+        spec = self.clusters.get(key)
+        if spec is None:
+            raise ProvisionError(
+                f"testbed {self.name!r} has no cluster/arch {key!r}; "
+                f"available: {sorted(self.clusters)}"
+            )
+        return spec
+
+    def provision(
+        self,
+        network: Network,
+        count: int,
+        name_prefix: str,
+        cluster: Optional[str] = None,
+        arch: Optional[str] = None,
+    ) -> List[Device]:
+        """Create ``count`` devices and attach them to the network."""
+        if count <= 0:
+            raise ProvisionError(f"count must be positive, got {count}")
+        if count > self.capacity:
+            raise ProvisionError(
+                f"testbed {self.name!r} capacity is {self.capacity}, requested {count}"
+            )
+        spec = self.spec_for(cluster, arch)
+        devices = []
+        for i in range(count):
+            host_name = f"{name_prefix}-{i}" if count > 1 else name_prefix
+            device = Device(network.env, spec, name=host_name)
+            network.add_host(host_name, device=device)
+            devices.append(device)
+        return devices
+
+
+#: Grid'5000: cloud/HPC clusters (the paper uses Nancy's "gros").
+GRID5000 = Testbed(
+    name="g5k",
+    clusters={"gros": XEON_GOLD_5220, "paravance": XEON_GOLD_5220},
+    default_cluster="gros",
+    capacity=124,
+)
+
+#: FIT IoT LAB: IoT boards (the paper uses Grenoble's A8-M3 nodes).
+FIT_IOT_LAB = Testbed(
+    name="iotlab",
+    clusters={"a8": A8M3, "grenoble": A8M3, "saclay": A8M3},
+    default_cluster="a8",
+    capacity=256,
+)
+
+#: Chameleon Cloud (supported by E2Clab; same class as Grid'5000 here).
+CHAMELEON = Testbed(
+    name="chameleon",
+    clusters={"skylake": XEON_GOLD_5220},
+    default_cluster="skylake",
+    capacity=64,
+)
+
+TESTBEDS: Dict[str, Testbed] = {
+    t.name: t for t in (GRID5000, FIT_IOT_LAB, CHAMELEON)
+}
+
+
+def testbed_by_name(name: str) -> Testbed:
+    testbed = TESTBEDS.get(name)
+    if testbed is None:
+        raise KeyError(f"unknown testbed {name!r}; known: {sorted(TESTBEDS)}")
+    return testbed

@@ -1,0 +1,233 @@
+"""Experiment driver: build a world, run an instrumented workload, measure.
+
+This module is the reusable middle layer between the workloads and the
+per-table benchmark scripts: it reproduces the paper's experimental setup
+(Fig. 5) for any capture system, bandwidth, delay, grouping and device
+count, and returns the measures every table/figure is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import DfAnalyzerCaptureClient, NullCaptureClient, ProvLakeClient
+from ..core import CallableBackend, ProvLightClient, ProvLightServer
+from ..device import A8M3, XEON_GOLD_5220, Device, DeviceSpec
+from ..dfanalyzer import DfAnalyzerService
+from ..http import HttpResponse, HttpServer
+from ..metrics import RunMetrics, mean_ci, relative_overhead, snapshot_device
+from ..net import Network, parse_delay, parse_rate
+from ..simkernel import Environment
+from ..workloads import SyntheticWorkloadConfig, synthetic_workload
+
+__all__ = [
+    "SYSTEMS",
+    "ExperimentSetup",
+    "RunOutcome",
+    "run_capture_experiment",
+    "run_null_baseline",
+    "measure_overhead",
+    "OverheadResult",
+]
+
+SYSTEMS = ("provlight", "provlake", "dfanalyzer")
+
+#: Default repetition count (the paper repeats each experiment 10 times).
+DEFAULT_REPETITIONS = 10
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Everything that defines one experimental condition."""
+
+    system: str = "provlight"
+    bandwidth: str = "1Gbit"
+    delay: str = "23ms"
+    group_size: int = 0
+    n_devices: int = 1
+    device_spec: DeviceSpec = A8M3
+    compress: bool = True
+    qos: int = 2
+    #: attach one translator per device topic (paper Fig. 5)
+    with_translators: bool = True
+
+    def describe(self) -> str:
+        parts = [self.system, self.bandwidth, f"delay={self.delay}"]
+        if self.group_size:
+            parts.append(f"group={self.group_size}")
+        if self.n_devices > 1:
+            parts.append(f"devices={self.n_devices}")
+        if self.device_spec is not A8M3:
+            parts.append(self.device_spec.name)
+        return " ".join(parts)
+
+
+@dataclass
+class RunOutcome:
+    """Measures of one run (per device)."""
+
+    elapsed: List[float]
+    metrics: List[RunMetrics]
+    backend_records: int
+
+    @property
+    def mean_elapsed(self) -> float:
+        return float(np.mean(self.elapsed))
+
+
+def run_null_baseline(
+    config: SyntheticWorkloadConfig, seed: int, n_devices: int = 1,
+    device_spec: DeviceSpec = A8M3,
+) -> float:
+    """Elapsed time of the workload with no capture at all (same seeds)."""
+    env = Environment()
+    results = []
+    for i in range(n_devices):
+        device = Device(env, device_spec, name=f"null-{i}")
+        result: Dict[str, Any] = {}
+        results.append(result)
+        env.process(
+            synthetic_workload(
+                env, NullCaptureClient(device), config,
+                rng=np.random.default_rng(seed * 1000 + i), result=result,
+            )
+        )
+    env.run()
+    return float(np.mean([r["elapsed"] for r in results]))
+
+
+def run_capture_experiment(
+    setup: ExperimentSetup, config: SyntheticWorkloadConfig, seed: int
+) -> RunOutcome:
+    """Run the workload with capture per ``setup``; returns the measures."""
+    if setup.system not in SYSTEMS:
+        raise ValueError(f"unknown system {setup.system!r}; known: {SYSTEMS}")
+    env = Environment()
+    net = Network(env, seed=seed)
+    bandwidth = parse_rate(setup.bandwidth)
+    delay = parse_delay(setup.delay)
+
+    cloud_device = Device(env, XEON_GOLD_5220, name="cloud-device")
+    net.add_host("cloud", device=cloud_device)
+
+    devices: List[Device] = []
+    for i in range(setup.n_devices):
+        device = Device(env, setup.device_spec, name=f"edge-{i}")
+        net.add_host(f"edge-{i}", device=device)
+        net.connect(f"edge-{i}", "cloud", bandwidth_bps=bandwidth, latency_s=delay)
+        devices.append(device)
+
+    backend_service = DfAnalyzerService()
+    clients: List[Any] = []
+    server: Optional[ProvLightServer] = None
+    if setup.system == "provlight":
+        server = ProvLightServer(
+            net.hosts["cloud"], CallableBackend(backend_service.ingest)
+        )
+        for i, device in enumerate(devices):
+            clients.append(
+                ProvLightClient(
+                    device,
+                    server.endpoint,
+                    f"provlight/edge-{i}/data",
+                    group_size=setup.group_size,
+                    compress=setup.compress,
+                    qos=setup.qos,
+                )
+            )
+    else:
+        def handler(request):
+            import json
+
+            try:
+                backend_service.ingest(json.loads(request.body.decode()))
+            except Exception:
+                pass  # byte/timing fidelity matters here, not storage
+            return HttpResponse(status=201, reason="Created")
+
+        HttpServer(net.hosts["cloud"], 5000, handler, workers=max(8, setup.n_devices))
+        for device in devices:
+            if setup.system == "provlake":
+                clients.append(
+                    ProvLakeClient(device, ("cloud", 5000), group_size=setup.group_size)
+                )
+            else:
+                clients.append(DfAnalyzerCaptureClient(device, ("cloud", 5000)))
+
+    results: List[Dict[str, Any]] = []
+    snapshots: List[RunMetrics] = []
+
+    def run_device(env, idx, client, device):
+        if server is not None and setup.with_translators:
+            yield from server.add_translator(f"provlight/edge-{idx}/data")
+        device.reset_accounting()
+        result: Dict[str, Any] = {}
+        results.append(result)
+        yield from synthetic_workload(
+            env, client, config,
+            rng=np.random.default_rng(seed * 1000 + idx), result=result,
+        )
+        snapshots.append(snapshot_device(device, result["elapsed"]))
+
+    for i, (client, device) in enumerate(zip(clients, devices)):
+        env.process(run_device(env, i, client, device))
+    env.run()
+
+    return RunOutcome(
+        elapsed=[r["elapsed"] for r in results],
+        metrics=snapshots,
+        backend_records=int(backend_service.records_ingested.count),
+    )
+
+
+@dataclass
+class OverheadResult:
+    """Overhead (paper's metric) across repetitions, with run measures."""
+
+    setup: ExperimentSetup
+    config: SyntheticWorkloadConfig
+    overheads: List[float]
+    outcomes: List[RunOutcome] = field(default_factory=list)
+
+    @property
+    def ci(self):
+        return mean_ci(self.overheads)
+
+    def mean_metric(self, reader) -> float:
+        """Average a RunMetrics field over all runs/devices."""
+        values = [
+            reader(metric)
+            for outcome in self.outcomes
+            for metric in outcome.metrics
+        ]
+        return float(np.mean(values))
+
+
+def measure_overhead(
+    setup: ExperimentSetup,
+    config: SyntheticWorkloadConfig,
+    repetitions: int = DEFAULT_REPETITIONS,
+    keep_outcomes: bool = True,
+) -> OverheadResult:
+    """The paper's capture-time-overhead measurement.
+
+    For each repetition, the workload runs once without capture and once
+    with, using identical task-duration jitter streams, and the relative
+    elapsed-time difference is recorded.
+    """
+    overheads: List[float] = []
+    outcomes: List[RunOutcome] = []
+    for rep in range(repetitions):
+        seed = rep + 1
+        t_without = run_null_baseline(
+            config, seed, n_devices=setup.n_devices, device_spec=setup.device_spec
+        )
+        outcome = run_capture_experiment(setup, config, seed)
+        overheads.append(relative_overhead(outcome.mean_elapsed, t_without))
+        if keep_outcomes:
+            outcomes.append(outcome)
+    return OverheadResult(setup=setup, config=config, overheads=overheads,
+                          outcomes=outcomes)

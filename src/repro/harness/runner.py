@@ -1,0 +1,94 @@
+"""Command-line harness: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.harness all
+    python -m repro.harness table7 fig6a --reps 5
+    python -m repro.harness all --write-experiments EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from .figures import ALL_FIGURES, figure6_runs
+from .tables import ALL_TABLES, TableResult
+
+__all__ = ["main", "run_targets", "ALL_TARGETS"]
+
+ALL_TARGETS = list(ALL_TABLES) + list(ALL_FIGURES)
+
+
+def run_targets(targets: List[str], repetitions: Optional[int] = None) -> Dict[str, TableResult]:
+    """Run the named targets; 'all' expands to every table and figure."""
+    if "all" in targets:
+        targets = ALL_TARGETS
+    unknown = [t for t in targets if t not in ALL_TARGETS]
+    if unknown:
+        raise SystemExit(f"unknown targets {unknown}; available: all, {', '.join(ALL_TARGETS)}")
+
+    results: Dict[str, TableResult] = {}
+    fig_targets = [t for t in targets if t in ALL_FIGURES]
+    shared_runs = figure6_runs(repetitions) if fig_targets else None
+    for target in targets:
+        start = time.time()
+        if target in ALL_TABLES:
+            result = ALL_TABLES[target](repetitions)
+        else:
+            result = ALL_FIGURES[target](shared_runs)
+        results[target] = result
+        print(result.text)
+        print(f"[{target}] {result.summary()} ({time.time() - start:.1f}s)\n")
+    return results
+
+
+def write_experiments_md(results: Dict[str, TableResult], path: str) -> None:
+    """Append a machine-generated results section to EXPERIMENTS.md."""
+    lines = [
+        "",
+        "## Harness output (machine generated)",
+        "",
+        "Regenerate with `python -m repro.harness all --write-experiments EXPERIMENTS.md`.",
+        "",
+    ]
+    for name, result in results.items():
+        lines.append(f"### {result.title}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(result.text.strip())
+        lines.append("```")
+        lines.append("")
+        lines.append(f"Shape checks: **{result.summary()}**")
+        lines.append("")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the ProvLight paper's tables and figures.",
+    )
+    parser.add_argument(
+        "targets", nargs="*", default=["all"],
+        help=f"any of: all, {', '.join(ALL_TARGETS)} (default: all)",
+    )
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per experiment (default: paper's 10)")
+    parser.add_argument("--write-experiments", metavar="PATH", default=None,
+                        help="append rendered results to this markdown file")
+    args = parser.parse_args(argv)
+
+    results = run_targets(args.targets or ["all"], repetitions=args.reps)
+    if args.write_experiments:
+        write_experiments_md(results, args.write_experiments)
+        print(f"appended results to {args.write_experiments}")
+    failed = [name for name, r in results.items() if not r.ok]
+    if failed:
+        print(f"SHAPE CHECK FAILURES in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("all shape checks passed")
+    return 0

@@ -1,0 +1,96 @@
+"""uWSGI-style HTTP/1.1 server on simulated TCP.
+
+An accept loop hands each connection to a per-connection process that
+parses requests and runs them through a bounded worker pool (uWSGI's
+process/thread workers) with a calibrated service time per request.
+Handlers return an :class:`HttpResponse` or are generators (for handlers
+that must themselves wait on simulated events, e.g. a backend insert).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Optional
+
+from ..calibration import SERVER_COSTS
+from ..net import Host
+from ..simkernel import Counter, Resource
+from .messages import (
+    ConnectionClosed,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    StreamReader,
+    read_request,
+)
+
+__all__ = ["HttpServer"]
+
+
+class HttpServer:
+    """A listening HTTP server bound to ``host:port``."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        handler: Callable[[HttpRequest], "HttpResponse"],
+        workers: int = 8,
+        service_time_s: float = SERVER_COSTS.http_request_service_s,
+        name: Optional[str] = None,
+    ):
+        self.host = host
+        self.env = host.env
+        self.port = port
+        self.handler = handler
+        self.service_time_s = service_time_s
+        self.name = name or f"http-{host.name}:{port}"
+        self._workers = Resource(host.env, capacity=workers)
+        self.listener = host.tcp_listen(port)
+        self.requests = Counter("requests")
+        self.errors = Counter("errors")
+        self.env.process(self._accept_loop(), name=f"{self.name}-accept")
+
+    def _accept_loop(self):
+        while True:
+            conn = yield self.listener.accept()
+            self.env.process(self._serve(conn), name=f"{self.name}-conn")
+
+    def _serve(self, conn):
+        reader = StreamReader(conn)
+        while True:
+            try:
+                eof = yield from reader.at_eof_between_messages()
+                if eof:
+                    return
+                request = yield from read_request(reader)
+            except ConnectionClosed:
+                return
+            except HttpError:
+                self.errors.record()
+                conn.send(HttpResponse(status=400, reason="Bad Request").encode())
+                conn.close()
+                return
+            with self._workers.request() as slot:
+                yield slot
+                if self.service_time_s > 0:
+                    yield self.env.timeout(self.service_time_s)
+                try:
+                    result = self.handler(request)
+                    if inspect.isgenerator(result):
+                        response = yield from result
+                    else:
+                        response = result
+                except Exception:  # handler crash -> 500, keep serving
+                    self.errors.record()
+                    response = HttpResponse(status=500, reason="Internal Server Error")
+            if response is None:
+                response = HttpResponse(status=204, reason="No Content")
+            self.requests.record()
+            conn.send(response.encode())
+            if not (request.keep_alive() and response.keep_alive()):
+                conn.close()
+                return
+
+    def __repr__(self) -> str:
+        return f"<HttpServer {self.name}>"

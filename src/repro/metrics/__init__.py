@@ -1,0 +1,20 @@
+"""Measurement: overhead statistics (mean ± 95% CI like the paper),
+per-device metric snapshots and ASCII table rendering for the harness."""
+
+from .collectors import RunMetrics, snapshot_device
+from .reporting import fmt_bytes, fmt_ci_pct, fmt_pct, fmt_si, render_table
+from .stats import MeanCI, mean_ci, relative_overhead, speedup
+
+__all__ = [
+    "MeanCI",
+    "mean_ci",
+    "relative_overhead",
+    "speedup",
+    "RunMetrics",
+    "snapshot_device",
+    "render_table",
+    "fmt_pct",
+    "fmt_ci_pct",
+    "fmt_bytes",
+    "fmt_si",
+]

@@ -1,0 +1,63 @@
+"""Per-run metric collection from device models.
+
+One :class:`RunMetrics` snapshot captures everything the paper's Fig. 6
+reports for a run: capture-attributed CPU utilization, capture memory as
+a fraction of RAM, network bytes/rate on the device, and average power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..device import Device
+
+__all__ = ["RunMetrics", "snapshot_device"]
+
+
+@dataclass
+class RunMetrics:
+    """Metrics of one workload run on one device."""
+
+    elapsed_s: float
+    capture_cpu_utilization: float
+    total_cpu_utilization: float
+    capture_memory_fraction: float
+    capture_memory_peak_bytes: int
+    tx_bytes: int
+    rx_bytes: int
+    network_rate_bps: float
+    average_power_w: Optional[float]
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def network_kb_per_s(self) -> float:
+        return self.network_rate_bps / 8.0 / 1024.0
+
+
+def snapshot_device(device: Device, elapsed_s: float) -> RunMetrics:
+    """Read a device's accounting after a run.
+
+    Call after the workflow finished; CPU/energy accounting should have
+    been reset at the start of the run (``device.reset_accounting()``).
+    """
+    cpu = device.cpu
+    capture_util = cpu.utilization("capture")
+    total_util = cpu.utilization()
+    mem = device.memory
+    capture_mem_peak = mem.peak("capture-static") + mem.peak("capture-buffers")
+    tx = int(device.radio.tx.total)
+    rx = int(device.radio.rx.total)
+    rate = ((tx + rx) * 8.0 / elapsed_s) if elapsed_s > 0 else 0.0
+    power = device.energy.average_power_w() if device.energy is not None else None
+    return RunMetrics(
+        elapsed_s=elapsed_s,
+        capture_cpu_utilization=capture_util,
+        total_cpu_utilization=total_util,
+        capture_memory_fraction=capture_mem_peak / device.spec.ram_bytes,
+        capture_memory_peak_bytes=capture_mem_peak,
+        tx_bytes=tx,
+        rx_bytes=rx,
+        network_rate_bps=rate,
+        average_power_w=power,
+    )

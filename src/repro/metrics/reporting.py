@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The harness prints each reproduced table/figure in the same row/column
+arrangement as the paper, with a "paper" reference column next to every
+measured value so the comparison is visible in the terminal and in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "fmt_pct", "fmt_ci_pct", "fmt_bytes", "fmt_si"]
+
+
+def fmt_pct(value: float, digits: int = 2) -> str:
+    """0.0154 -> '1.54%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def fmt_ci_pct(mean: float, halfwidth: float, digits: int = 2) -> str:
+    """Paper-style '1.54% ±0.01'."""
+    return f"{mean * 100:.{digits}f}% ±{halfwidth * 100:.{digits}f}"
+
+
+def fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{n:.0f}B"
+        n /= 1024.0
+    return f"{n:.1f}GB"
+
+
+def fmt_si(value: float, unit: str = "", digits: int = 3) -> str:
+    return f"{value:.{digits}g}{unit}"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [f"\n=== {title} ===", sep, line(list(headers)), sep]
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    if note:
+        out.append(note)
+    return "\n".join(out)

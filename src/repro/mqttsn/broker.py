@@ -1,0 +1,258 @@
+"""MQTT-SN broker in the style of Eclipse RSMB (Really Small Message
+Broker), which the paper's ProvLight server embeds.
+
+Single receive loop over one UDP port; per-datagram service time models
+the broker's (small) processing cost and creates realistic queueing when
+64 devices publish concurrently (paper Table IX).  QoS 2 is honoured in
+both roles: as receiver from publishers (PUBREC/PUBREL/PUBCOMP with
+duplicate suppression) and as sender towards subscribers (retransmission
+with DUP until PUBREC, then PUBREL until PUBCOMP).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..calibration import SERVER_COSTS
+from ..net import Endpoint, Host
+from ..simkernel import Counter
+from . import packets as pkt
+from .topics import TopicRegistry, topic_matches, validate_filter
+
+__all__ = ["MqttSnBroker", "DEFAULT_BROKER_PORT"]
+
+DEFAULT_BROKER_PORT = 1883
+
+
+@dataclass
+class _Session:
+    """Broker-side state for one connected client."""
+
+    endpoint: Endpoint
+    client_id: str
+    subscriptions: List[Tuple[str, int]] = field(default_factory=list)  # (filter, qos)
+    inbound_qos2: Set[int] = field(default_factory=set)
+    #: topic ids this client can resolve (REGACKed or learned via its own
+    #: REGISTER/SUBSCRIBE); others need a broker-side REGISTER first.
+    known_topic_ids: Set[int] = field(default_factory=set)
+    msg_ids: itertools.cycle = field(default_factory=lambda: itertools.cycle(range(1, 0x10000)))
+
+
+class _OutboundQos2:
+    """Broker-as-sender exactly-once delivery state."""
+
+    __slots__ = ("message", "dest", "state")
+
+    def __init__(self, message: pkt.Publish, dest: Endpoint):
+        self.message = message
+        self.dest = dest
+        self.state = "published"
+
+
+class MqttSnBroker:
+    """An MQTT-SN broker bound to one host/port."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int = DEFAULT_BROKER_PORT,
+        service_time_s: float = SERVER_COSTS.broker_per_packet_s,
+        retry_interval_s: float = 1.0,
+        max_retries: int = 5,
+    ):
+        self.host = host
+        self.env = host.env
+        self.port = port
+        self.service_time_s = service_time_s
+        self.retry_interval_s = retry_interval_s
+        self.max_retries = max_retries
+
+        self.sock = host.udp_socket(port)
+        self.topics = TopicRegistry()
+        self.sessions: Dict[Endpoint, _Session] = {}
+        self._outbound: Dict[Tuple[Endpoint, int], _OutboundQos2] = {}
+        self.forwarded = Counter("forwarded-publishes")
+        self.dropped_no_session = Counter("dropped-no-session")
+        self.env.process(self._recv_loop(), name=f"mqttsn-broker-{host.name}:{port}")
+
+    # ------------------------------------------------------------------ loop
+    def _recv_loop(self):
+        while True:
+            data, source = yield self.sock.recv()
+            if self.service_time_s > 0:
+                yield self.env.timeout(self.service_time_s)
+            try:
+                message = pkt.decode(data)
+            except pkt.MalformedPacket:
+                continue
+            self._dispatch(message, source)
+
+    def _send(self, message: pkt.MqttSnMessage, dest: Endpoint) -> None:
+        self.sock.sendto(message.encode(), dest)
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, message: pkt.MqttSnMessage, source: Endpoint) -> None:
+        if isinstance(message, pkt.Connect):
+            self.sessions[source] = _Session(endpoint=source, client_id=message.client_id)
+            self._send(pkt.Connack(return_code=pkt.RC_ACCEPTED), source)
+            return
+
+        session = self.sessions.get(source)
+        if session is None:
+            # Not connected: only CONNECT is acceptable. Everything else
+            # is dropped (the RSMB behaviour for unknown peers).
+            self.dropped_no_session.record()
+            return
+
+        if isinstance(message, pkt.Register):
+            try:
+                topic_id = self.topics.register(message.topic_name)
+            except ValueError:
+                self._send(
+                    pkt.Regack(
+                        topic_id=0, msg_id=message.msg_id,
+                        return_code=pkt.RC_INVALID_TOPIC,
+                    ),
+                    source,
+                )
+                return
+            session.known_topic_ids.add(topic_id)
+            self._send(
+                pkt.Regack(topic_id=topic_id, msg_id=message.msg_id), source
+            )
+            return
+
+        if isinstance(message, pkt.Regack):
+            # client acknowledged a broker-initiated topic registration
+            if message.return_code == pkt.RC_ACCEPTED:
+                session.known_topic_ids.add(message.topic_id)
+            return
+
+        if isinstance(message, pkt.Subscribe):
+            try:
+                validate_filter(message.topic_name)
+            except ValueError:
+                self._send(
+                    pkt.Suback(
+                        topic_id=0, msg_id=message.msg_id,
+                        return_code=pkt.RC_INVALID_TOPIC,
+                    ),
+                    source,
+                )
+                return
+            session.subscriptions.append((message.topic_name, message.qos))
+            topic_id = 0
+            if "+" not in message.topic_name and "#" not in message.topic_name:
+                topic_id = self.topics.register(message.topic_name)
+                session.known_topic_ids.add(topic_id)
+            self._send(
+                pkt.Suback(topic_id=topic_id, msg_id=message.msg_id, qos=message.qos),
+                source,
+            )
+            return
+
+        if isinstance(message, pkt.Publish):
+            self._on_publish(message, session)
+            return
+
+        if isinstance(message, pkt.Pubrel):
+            session.inbound_qos2.discard(message.msg_id)
+            self._send(pkt.Pubcomp(msg_id=message.msg_id), source)
+            return
+
+        if isinstance(message, pkt.Pubrec):
+            out = self._outbound.get((source, message.msg_id))
+            if out is not None:
+                out.state = "pubrel"
+            self._send(pkt.Pubrel(msg_id=message.msg_id), source)
+            return
+
+        if isinstance(message, pkt.Pubcomp):
+            self._outbound.pop((source, message.msg_id), None)
+            return
+
+        if isinstance(message, pkt.Puback):
+            self._outbound.pop((source, message.msg_id), None)
+            return
+
+        if isinstance(message, pkt.Pingreq):
+            self._send(pkt.Pingresp(), source)
+            return
+
+        if isinstance(message, pkt.Disconnect):
+            self._send(pkt.Disconnect(), source)
+            self.sessions.pop(source, None)
+            return
+
+    # ------------------------------------------------------------- publishing
+    def _on_publish(self, message: pkt.Publish, session: _Session) -> None:
+        source = session.endpoint
+        if message.qos == 1:
+            self._send(
+                pkt.Puback(topic_id=message.topic_id, msg_id=message.msg_id), source
+            )
+        elif message.qos == 2:
+            self._send(pkt.Pubrec(msg_id=message.msg_id), source)
+            if message.msg_id in session.inbound_qos2:
+                return  # duplicate: exactly-once suppression
+            session.inbound_qos2.add(message.msg_id)
+
+        topic_name = self.topics.name_of(message.topic_id)
+        if topic_name is None:
+            return  # unknown topic id: RSMB drops the message
+        self._forward(topic_name, message)
+
+    def _forward(self, topic_name: str, message: pkt.Publish) -> None:
+        for session in list(self.sessions.values()):
+            for pattern, sub_qos in session.subscriptions:
+                if topic_matches(pattern, topic_name):
+                    self._deliver(session, topic_name, message, min(message.qos, sub_qos))
+                    break  # one delivery per client even with overlapping subs
+
+    def _deliver(
+        self, session: _Session, topic_name: str, message: pkt.Publish, qos: int
+    ) -> None:
+        topic_id = self.topics.register(topic_name)
+        if topic_id not in session.known_topic_ids:
+            # Wildcard subscribers cannot resolve this topic id yet: send a
+            # broker-initiated REGISTER (spec §6.10) ahead of the PUBLISH.
+            # Repeated until the client REGACKs, so a lost REGISTER only
+            # costs the duplicate-suppressed retransmission round.
+            self._send(
+                pkt.Register(
+                    topic_id=topic_id,
+                    msg_id=next(session.msg_ids),
+                    topic_name=topic_name,
+                ),
+                session.endpoint,
+            )
+        msg_id = next(session.msg_ids) if qos > 0 else 0
+        out_message = pkt.Publish(
+            topic_id=topic_id, msg_id=msg_id, payload=message.payload, qos=qos
+        )
+        self.forwarded.record(len(message.payload))
+        self._send(out_message, session.endpoint)
+        if qos > 0:
+            out = _OutboundQos2(out_message, session.endpoint)
+            self._outbound[(session.endpoint, msg_id)] = out
+            self.env.process(self._retry_outbound(session.endpoint, msg_id, 0))
+
+    def _retry_outbound(self, dest: Endpoint, msg_id: int, attempt: int):
+        yield self.env.timeout(self.retry_interval_s)
+        out = self._outbound.get((dest, msg_id))
+        if out is None:
+            return
+        if attempt >= self.max_retries:
+            del self._outbound[(dest, msg_id)]
+            return  # subscriber unreachable: give up (logged via counter)
+        if out.state == "pubrel":
+            self._send(pkt.Pubrel(msg_id=msg_id), dest)
+        else:
+            out.message.dup = True
+            self._send(out.message, dest)
+        self.env.process(self._retry_outbound(dest, msg_id, attempt + 1))
+
+    def __repr__(self) -> str:
+        return f"<MqttSnBroker {self.host.name}:{self.port} sessions={len(self.sessions)}>"

@@ -1,0 +1,82 @@
+"""Topic registry and MQTT-style topic matching.
+
+The broker assigns 16-bit topic ids to topic names (MQTT-SN REGISTER) and
+matches published topics against subscription filters with the standard
+MQTT wildcards: ``+`` (one level) and ``#`` (any tail, last level only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["TopicRegistry", "topic_matches", "validate_filter"]
+
+
+def validate_filter(pattern: str) -> None:
+    """Raise ``ValueError`` for malformed subscription filters."""
+    if not pattern:
+        raise ValueError("empty topic filter")
+    levels = pattern.split("/")
+    for i, level in enumerate(levels):
+        if level == "#" and i != len(levels) - 1:
+            raise ValueError(f"'#' must be the last level: {pattern!r}")
+        if "#" in level and level != "#":
+            raise ValueError(f"'#' must occupy a whole level: {pattern!r}")
+        if "+" in level and level != "+":
+            raise ValueError(f"'+' must occupy a whole level: {pattern!r}")
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """True when ``topic`` matches the subscription ``pattern``."""
+    p_levels = pattern.split("/")
+    t_levels = topic.split("/")
+    for i, p in enumerate(p_levels):
+        if p == "#":
+            return True
+        if i >= len(t_levels):
+            return False
+        if p == "+":
+            continue
+        if p != t_levels[i]:
+            return False
+    return len(p_levels) == len(t_levels)
+
+
+class TopicRegistry:
+    """Bidirectional topic-name <-> topic-id mapping (broker-wide)."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, int] = {}
+        self._by_id: Dict[int, str] = {}
+        self._next_id = 1
+
+    def register(self, name: str) -> int:
+        """Return the topic id for ``name``, assigning one if new.
+
+        Wildcards are not registrable (they are subscription filters).
+        """
+        if not name:
+            raise ValueError("empty topic name")
+        if "+" in name or "#" in name:
+            raise ValueError(f"cannot register wildcard topic {name!r}")
+        tid = self._by_name.get(name)
+        if tid is None:
+            tid = self._next_id
+            if tid > 0xFFFF:
+                raise OverflowError("topic id space exhausted")
+            self._next_id += 1
+            self._by_name[name] = tid
+            self._by_id[tid] = name
+        return tid
+
+    def name_of(self, topic_id: int) -> Optional[str]:
+        return self._by_id.get(topic_id)
+
+    def id_of(self, name: str) -> Optional[int]:
+        return self._by_name.get(name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

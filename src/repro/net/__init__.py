@@ -1,0 +1,36 @@
+"""Simulated network substrate: links, hosts, UDP and TCP.
+
+Byte-accurate packets over store-and-forward links with configurable
+bandwidth/latency/jitter/loss; hosts dispatch to UDP and TCP sockets.
+Protocol layers (:mod:`repro.mqttsn`, :mod:`repro.http`) build on these
+sockets exactly like their real counterparts build on the OS.
+"""
+
+from .host import Host, PortInUse
+from .link import Link
+from .netem import NetworkConstraint, apply_constraints, parse_delay, parse_rate
+from .packet import TCP_HEADER_BYTES, UDP_HEADER_BYTES, Endpoint, Packet
+from .tcp import ConnectionRefused, ConnectionReset, TcpConnection, TcpListener
+from .topology import Network, UnroutableError
+from .udp import UdpSocket
+
+__all__ = [
+    "Host",
+    "PortInUse",
+    "Link",
+    "Network",
+    "UnroutableError",
+    "NetworkConstraint",
+    "apply_constraints",
+    "parse_rate",
+    "parse_delay",
+    "Packet",
+    "Endpoint",
+    "UDP_HEADER_BYTES",
+    "TCP_HEADER_BYTES",
+    "UdpSocket",
+    "TcpConnection",
+    "TcpListener",
+    "ConnectionRefused",
+    "ConnectionReset",
+]

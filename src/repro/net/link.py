@@ -1,0 +1,123 @@
+"""Point-to-point unidirectional link with bandwidth, latency and loss.
+
+The timing model is classic store-and-forward:
+
+* *serialization*: a packet of ``size`` bytes occupies the transmitter for
+  ``size * 8 / bandwidth_bps`` seconds; packets queue FIFO behind it
+  (this queue is what makes the 25 Kbit/s experiments interesting);
+* *propagation*: after serialization the packet travels for
+  ``latency_s (+ jitter)`` seconds; propagation is pipelined, so multiple
+  packets can be in flight;
+* *loss*: each packet is dropped independently with probability
+  ``loss`` after serialization (the transmitter still paid the time).
+
+Parameters may be changed at runtime (the E2Clab network manager does
+this to emulate ``tc netem`` reconfiguration); queued packets pick up the
+new values when they reach the head of the queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..simkernel import Counter, Environment, Store
+from .packet import Packet
+
+__all__ = ["Link"]
+
+DeliverFn = Callable[[Packet], None]
+
+
+class Link:
+    """One direction of a connection between two hosts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        src: str,
+        dst: str,
+        bandwidth_bps: float,
+        latency_s: float,
+        jitter_s: float = 0.0,
+        loss: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be > 0")
+        if latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        self.env = env
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self.jitter_s = float(jitter_s)
+        self.loss = float(loss)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._queue: Store = Store(env)
+        self.tx_bytes = Counter(f"{src}->{dst}")
+        self.dropped = Counter(f"{src}->{dst} drops")
+        env.process(self._pump(), name=f"link-{src}->{dst}")
+
+    # -- configuration (netem-style) ----------------------------------------
+    def configure(
+        self,
+        bandwidth_bps: Optional[float] = None,
+        latency_s: Optional[float] = None,
+        jitter_s: Optional[float] = None,
+        loss: Optional[float] = None,
+    ) -> None:
+        """Change link parameters at runtime."""
+        if bandwidth_bps is not None:
+            if bandwidth_bps <= 0:
+                raise ValueError("bandwidth must be > 0")
+            self.bandwidth_bps = float(bandwidth_bps)
+        if latency_s is not None:
+            if latency_s < 0:
+                raise ValueError("latency must be >= 0")
+            self.latency_s = float(latency_s)
+        if jitter_s is not None:
+            self.jitter_s = float(jitter_s)
+        if loss is not None:
+            if not 0.0 <= loss < 1.0:
+                raise ValueError("loss must be in [0, 1)")
+            self.loss = float(loss)
+
+    # -- transmission -----------------------------------------------------------
+    def send(self, packet: Packet, deliver: DeliverFn) -> None:
+        """Enqueue ``packet``; call ``deliver(packet)`` at the far end."""
+        self._queue.put((packet, deliver))
+
+    @property
+    def queued_packets(self) -> int:
+        """Packets waiting for (or in) serialization."""
+        return len(self._queue.items)
+
+    def _pump(self):
+        env = self.env
+        while True:
+            packet, deliver = yield self._queue.get()
+            # serialization (transmitter occupied)
+            yield env.timeout(packet.size * 8.0 / self.bandwidth_bps)
+            self.tx_bytes.record(packet.size)
+            if self.loss > 0.0 and self.rng.random() < self.loss:
+                self.dropped.record(packet.size)
+                continue
+            delay = self.latency_s
+            if self.jitter_s > 0.0:
+                delay = max(0.0, delay + float(self.rng.normal(0.0, self.jitter_s)))
+            env.process(self._propagate(delay, packet, deliver))
+
+    def _propagate(self, delay: float, packet: Packet, deliver: DeliverFn):
+        yield self.env.timeout(delay)
+        deliver(packet)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Link {self.src}->{self.dst} {self.bandwidth_bps:.0f}bps "
+            f"{self.latency_s * 1000:.1f}ms loss={self.loss}>"
+        )

@@ -1,0 +1,113 @@
+"""Declarative network constraints, in the spirit of E2Clab's network
+manager (which drives ``tc netem``/``tbf`` on real testbeds).
+
+A :class:`NetworkConstraint` names two host groups and the link shape
+between them; :func:`apply_constraints` maps them onto simulated links.
+Bandwidth strings use the paper's notation (``"1Gbit"``, ``"25Kbit"``)
+and delays accept ``"23ms"``-style values.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from .topology import Network
+
+__all__ = ["NetworkConstraint", "parse_rate", "parse_delay", "apply_constraints"]
+
+_RATE_UNITS = {
+    "bit": 1.0,
+    "kbit": 1e3,
+    "mbit": 1e6,
+    "gbit": 1e9,
+    "bps": 8.0,
+    "kbps": 8e3,
+    "mbps": 8e6,
+    "gbps": 8e9,
+}
+
+_DELAY_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6}
+
+
+def parse_rate(rate: str | float | int) -> float:
+    """Parse ``"25Kbit"``/``"1Gbit"``-style rates into bits/s."""
+    if isinstance(rate, (int, float)):
+        return float(rate)
+    match = re.fullmatch(r"\s*([0-9.]+)\s*([A-Za-z]+)\s*", rate)
+    if not match:
+        raise ValueError(f"cannot parse rate {rate!r}")
+    value, unit = float(match.group(1)), match.group(2).lower()
+    if unit not in _RATE_UNITS:
+        raise ValueError(f"unknown rate unit {unit!r} in {rate!r}")
+    return value * _RATE_UNITS[unit]
+
+
+def parse_delay(delay: str | float | int) -> float:
+    """Parse ``"23ms"``-style delays into seconds."""
+    if isinstance(delay, (int, float)):
+        return float(delay)
+    match = re.fullmatch(r"\s*([0-9.]+)\s*([A-Za-z]+)\s*", delay)
+    if not match:
+        raise ValueError(f"cannot parse delay {delay!r}")
+    value, unit = float(match.group(1)), match.group(2).lower()
+    if unit not in _DELAY_UNITS:
+        raise ValueError(f"unknown delay unit {unit!r} in {delay!r}")
+    return value * _DELAY_UNITS[unit]
+
+
+@dataclass
+class NetworkConstraint:
+    """Shape of the path between two groups of hosts.
+
+    Mirrors the fields of an E2Clab ``network.yaml`` entry: source group,
+    destination group, rate, delay, jitter and loss.
+    """
+
+    src: Sequence[str]
+    dst: Sequence[str]
+    rate: str | float = "1Gbit"
+    delay: str | float = "0ms"
+    jitter: str | float = "0ms"
+    loss: float = 0.0
+
+    def bandwidth_bps(self) -> float:
+        return parse_rate(self.rate)
+
+    def delay_s(self) -> float:
+        return parse_delay(self.delay)
+
+    def jitter_s(self) -> float:
+        return parse_delay(self.jitter)
+
+
+def apply_constraints(
+    network: Network,
+    constraints: Iterable[NetworkConstraint],
+    create_missing: bool = True,
+) -> List[tuple]:
+    """Apply constraints to a network, creating links where needed.
+
+    Returns the list of ``(src, dst)`` pairs that were configured.
+    """
+    configured = []
+    for constraint in constraints:
+        for src in constraint.src:
+            for dst in constraint.dst:
+                if src == dst:
+                    continue
+                params = dict(
+                    bandwidth_bps=constraint.bandwidth_bps(),
+                    latency_s=constraint.delay_s(),
+                    jitter_s=constraint.jitter_s(),
+                    loss=constraint.loss,
+                )
+                try:
+                    network.configure_link(src, dst, **params)
+                except KeyError:
+                    if not create_missing:
+                        raise
+                    network.connect(src, dst, **params)
+                configured.append((src, dst))
+    return configured

@@ -1,0 +1,52 @@
+"""Packet model shared by every protocol in the simulated network.
+
+Packets are modelled at the IP level: ``header_bytes`` covers the
+network+transport headers (28 B for UDP/IP, 40 B for TCP/IP), and
+``payload`` is the real application bytes — protocols build *actual* byte
+strings, so wire sizes reported by the harness come from real encoders,
+not estimates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = ["Endpoint", "Packet", "UDP_HEADER_BYTES", "TCP_HEADER_BYTES"]
+
+#: IPv4 (20) + UDP (8) headers.
+UDP_HEADER_BYTES = 28
+#: IPv4 (20) + TCP (20) headers (options ignored).
+TCP_HEADER_BYTES = 40
+
+#: (host name, port) pair addressing a socket.
+Endpoint = Tuple[str, int]
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One network-layer datagram/segment."""
+
+    src: Endpoint
+    dst: Endpoint
+    protocol: str  # "udp" | "tcp"
+    payload: bytes = b""
+    header_bytes: int = UDP_HEADER_BYTES
+    #: transport metadata (TCP flags/seq/ack, etc.)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size(self) -> int:
+        """Total on-wire size in bytes."""
+        return self.header_bytes + len(self.payload)
+
+    def __repr__(self) -> str:
+        flags = self.meta.get("flags", "")
+        return (
+            f"<Packet#{self.pid} {self.protocol}{('[' + flags + ']') if flags else ''} "
+            f"{self.src[0]}:{self.src[1]}->{self.dst[0]}:{self.dst[1]} {self.size}B>"
+        )

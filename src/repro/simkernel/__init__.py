@@ -1,0 +1,59 @@
+"""Discrete-event simulation kernel.
+
+A compact, dependency-free DES engine in the generator-coroutine style:
+:class:`Environment` drives :class:`Process` generators that yield
+:class:`Event` objects (timeouts, resource requests, store gets, ...).
+
+This kernel is the substrate every other ``repro`` subsystem runs on —
+network links, protocol stacks, devices and workloads are all processes in
+one environment, sharing one simulated clock.
+"""
+
+from .core import EmptySchedule, Environment, StopSimulation
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Initialize,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from .monitor import Counter, RateMeter, Series, TimeWeighted
+from .resources import (
+    Container,
+    FilterStore,
+    PriorityItem,
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "StopSimulation",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Initialize",
+    "Condition",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "PriorityResource",
+    "Container",
+    "Store",
+    "FilterStore",
+    "PriorityStore",
+    "PriorityItem",
+    "TimeWeighted",
+    "Counter",
+    "Series",
+    "RateMeter",
+]

@@ -1,0 +1,173 @@
+"""The simulation environment: clock, event heap and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from .events import (
+    NORMAL,
+    PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Timeout,
+)
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Signals :meth:`Environment.run` to return (internal)."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in *seconds* (all repro subsystems use seconds).  The
+    passage of time is driven exclusively by stepping through scheduled
+    events; between events, time is frozen.
+
+    Example::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.5)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []  # heap of (time, priority, eid, event)
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None outside callbacks)."""
+        return self._active_proc
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers once all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers once any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule ``event`` to be processed ``delay`` seconds from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` when the queue is empty.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            # Event was already processed (can happen when an event is
+            # scheduled twice, e.g. via trigger chains); nothing to do.
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure crashes the simulation, mirroring an
+            # uncaught exception in a thread you actually care about.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time) or an :class:`Event` (run until it
+        triggers, returning its value).
+        """
+        at_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                at_event = until
+                if at_event.callbacks is None:  # already processed
+                    return at_event._value
+                at_event.callbacks.append(_stop_simulation)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be before the current time ({self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                stop.callbacks = [_stop_simulation]
+                self.schedule(stop, NORMAL, at - self._now)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as exc:
+            return exc.args[0] if exc.args else None
+        except EmptySchedule:
+            if at_event is not None and at_event._value is PENDING:
+                raise RuntimeError(
+                    f"no scheduled events left but {at_event!r} has not triggered"
+                ) from None
+        return None
+
+    def run_until_idle(self) -> None:
+        """Run until the event queue drains completely."""
+        self.run()
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"
+
+
+def _stop_simulation(event: Event) -> None:
+    if not event._ok:
+        event._defused = True
+        raise event._value
+    raise StopSimulation(event._value)

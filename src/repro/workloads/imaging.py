@@ -1,0 +1,127 @@
+"""Image pre-processing workload.
+
+The paper's third motivating application class ("image pre-processing").
+A 5-transformation pipeline over synthetic images: acquire -> denoise ->
+normalize -> extract features -> score, all real NumPy operations, each
+step an instrumented task with image statistics as provenance attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core import Data, Task, Workflow
+
+__all__ = ["ImagingConfig", "imaging_pipeline", "mean_filter"]
+
+
+@dataclass(frozen=True)
+class ImagingConfig:
+    """Shape of the imaging run."""
+
+    n_images: int = 6
+    image_size: int = 32
+    noise_sigma: float = 0.15
+    step_duration_s: float = 0.04
+    seed: int = 21
+    workflow_id: str = "imaging"
+
+
+def mean_filter(image: np.ndarray) -> np.ndarray:
+    """3x3 box filter with edge replication (vectorized, no loops)."""
+    padded = np.pad(image, 1, mode="edge")
+    out = np.zeros_like(image, dtype=float)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            out += padded[1 + dy : 1 + dy + image.shape[0],
+                          1 + dx : 1 + dx + image.shape[1]]
+    return out / 9.0
+
+
+def _image_stats(image: np.ndarray) -> Dict[str, float]:
+    return {
+        "mean": float(np.mean(image)),
+        "std": float(np.std(image)),
+        "min": float(np.min(image)),
+        "max": float(np.max(image)),
+    }
+
+
+def imaging_pipeline(
+    env,
+    capture_client,
+    config: ImagingConfig = ImagingConfig(),
+    result: Optional[Dict[str, Any]] = None,
+):
+    """Generator running the instrumented imaging pipeline."""
+    if result is None:
+        result = {}
+    rng = np.random.default_rng(config.seed)
+
+    yield from capture_client.setup()
+    workflow = Workflow(config.workflow_id, capture_client)
+    yield from workflow.begin()
+
+    scores: List[float] = []
+    for i in range(config.n_images):
+        # 1. acquire: a blob on a gradient background plus noise
+        task = Task(f"acquire-{i}", workflow, "acquire")
+        yield from task.begin([])
+        yy, xx = np.mgrid[0:config.image_size, 0:config.image_size]
+        cx, cy = rng.integers(8, config.image_size - 8, size=2)
+        blob = np.exp(-((xx - cx) ** 2 + (yy - cy) ** 2) / 30.0)
+        image = 0.2 * (xx / config.image_size) + blob
+        image += rng.normal(scale=config.noise_sigma, size=image.shape)
+        yield env.timeout(config.step_duration_s)
+        d_raw = Data(f"img-{i}", workflow.id, _image_stats(image))
+        yield from task.end([d_raw])
+
+        # 2. denoise
+        task2 = Task(f"denoise-{i}", workflow, "denoise", dependencies=[task.id])
+        yield from task2.begin([d_raw])
+        denoised = mean_filter(image)
+        yield env.timeout(config.step_duration_s)
+        d_den = Data(f"den-{i}", workflow.id, _image_stats(denoised),
+                     derivations=[f"img-{i}"])
+        yield from task2.end([d_den])
+
+        # 3. normalize to [0, 1]
+        task3 = Task(f"normalize-{i}", workflow, "normalize", dependencies=[task2.id])
+        yield from task3.begin([d_den])
+        lo, hi = float(denoised.min()), float(denoised.max())
+        normalized = (denoised - lo) / ((hi - lo) or 1.0)
+        yield env.timeout(config.step_duration_s)
+        d_norm = Data(f"norm-{i}", workflow.id, _image_stats(normalized),
+                      derivations=[f"den-{i}"])
+        yield from task3.end([d_norm])
+
+        # 4. features: intensity histogram
+        task4 = Task(f"features-{i}", workflow, "features", dependencies=[task3.id])
+        yield from task4.begin([d_norm])
+        hist, _ = np.histogram(normalized, bins=8, range=(0.0, 1.0))
+        yield env.timeout(config.step_duration_s)
+        d_feat = Data(
+            f"feat-{i}", workflow.id,
+            {"histogram": [int(h) for h in hist]},
+            derivations=[f"norm-{i}"],
+        )
+        yield from task4.end([d_feat])
+
+        # 5. score: how blob-like is the image (mass in the bright tail)
+        task5 = Task(f"score-{i}", workflow, "score", dependencies=[task4.id])
+        yield from task5.begin([d_feat])
+        score = float(hist[-2:].sum() / hist.sum())
+        scores.append(score)
+        yield env.timeout(config.step_duration_s)
+        d_score = Data(f"score-{i}", workflow.id,
+                       {"image": i, "blob_score": score},
+                       derivations=[f"feat-{i}"])
+        yield from task5.end([d_score])
+
+    yield from workflow.end()
+    result["scores"] = scores
+    result["images"] = config.n_images
+    return result

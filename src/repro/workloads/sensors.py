@@ -1,0 +1,127 @@
+"""Sensor data aggregation workload.
+
+One of the IoT/Edge application classes motivating the paper's workload
+grid ("sensor data aggregation").  A device samples a synthetic signal,
+then runs a 5-transformation pipeline per window: sample -> clean ->
+aggregate -> detect -> report, each step an instrumented task whose
+inputs/outputs are the window data and derived statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core import Data, Task, Workflow
+
+__all__ = ["SensorConfig", "sensor_pipeline"]
+
+
+@dataclass(frozen=True)
+class SensorConfig:
+    """Shape of the sensor-aggregation run."""
+
+    windows: int = 10
+    window_size: int = 32
+    sample_period_s: float = 0.05
+    anomaly_threshold: float = 2.5
+    seed: int = 13
+    workflow_id: str = "sensors"
+
+
+def sensor_pipeline(
+    env,
+    capture_client,
+    config: SensorConfig = SensorConfig(),
+    result: Optional[Dict[str, Any]] = None,
+):
+    """Generator running the instrumented sensor pipeline."""
+    if result is None:
+        result = {}
+    rng = np.random.default_rng(config.seed)
+
+    yield from capture_client.setup()
+    workflow = Workflow(config.workflow_id, capture_client)
+    yield from workflow.begin()
+
+    anomalies: List[int] = []
+    reports: List[Dict[str, float]] = []
+    previous: List[Any] = []
+
+    for w in range(config.windows):
+        # 1. sample ------------------------------------------------------
+        task = Task(f"sample-{w}", workflow, "sample", dependencies=previous)
+        yield from task.begin([])
+        raw = rng.normal(loc=20.0, scale=1.0, size=config.window_size)
+        if rng.random() < 0.3:  # occasional sensor glitch
+            raw[rng.integers(config.window_size)] += rng.choice([-8.0, 8.0])
+        yield env.timeout(config.sample_period_s * config.window_size)
+        raw_data = Data(f"raw-{w}", workflow.id, {"samples": [float(x) for x in raw]})
+        yield from task.end([raw_data])
+
+        # 2. clean (clip outliers to the median) ------------------------------
+        task2 = Task(f"clean-{w}", workflow, "clean", dependencies=[task.id])
+        yield from task2.begin([raw_data])
+        median = float(np.median(raw))
+        mad = float(np.median(np.abs(raw - median))) or 1e-9
+        clipped = np.where(np.abs(raw - median) > 5 * mad, median, raw)
+        yield env.timeout(0.02)
+        clean_data = Data(
+            f"clean-{w}", workflow.id,
+            {"samples": [float(x) for x in clipped]},
+            derivations=[f"raw-{w}"],
+        )
+        yield from task2.end([clean_data])
+
+        # 3. aggregate ----------------------------------------------------------
+        task3 = Task(f"aggregate-{w}", workflow, "aggregate", dependencies=[task2.id])
+        yield from task3.begin([clean_data])
+        stats = {
+            "mean": float(np.mean(clipped)),
+            "std": float(np.std(clipped)),
+            "min": float(np.min(clipped)),
+            "max": float(np.max(clipped)),
+            "window": w,
+        }
+        yield env.timeout(0.01)
+        agg_data = Data(
+            f"agg-{w}", workflow.id, stats, derivations=[f"clean-{w}"]
+        )
+        yield from task3.end([agg_data])
+
+        # 4. detect ------------------------------------------------------------
+        task4 = Task(f"detect-{w}", workflow, "detect", dependencies=[task3.id])
+        yield from task4.begin([agg_data])
+        zscore = abs(stats["mean"] - 20.0) / (stats["std"] or 1e-9)
+        is_anomaly = bool(
+            zscore > config.anomaly_threshold or stats["std"] > 2.0
+        )
+        if is_anomaly:
+            anomalies.append(w)
+        yield env.timeout(0.005)
+        det_data = Data(
+            f"det-{w}", workflow.id,
+            {"window": w, "zscore": float(zscore), "anomaly": is_anomaly},
+            derivations=[f"agg-{w}"],
+        )
+        yield from task4.end([det_data])
+
+        # 5. report -------------------------------------------------------------
+        task5 = Task(f"report-{w}", workflow, "report", dependencies=[task4.id])
+        yield from task5.begin([det_data])
+        report = {"window": w, "mean": stats["mean"], "anomaly": is_anomaly}
+        reports.append(report)
+        yield env.timeout(0.005)
+        rep_data = Data(
+            f"rep-{w}", workflow.id, report, derivations=[f"det-{w}"]
+        )
+        yield from task5.end([rep_data])
+        previous = [task5.id]
+
+    yield from workflow.end()
+    result["anomalous_windows"] = anomalies
+    result["reports"] = reports
+    result["windows"] = config.windows
+    return result

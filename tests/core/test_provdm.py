@@ -1,0 +1,146 @@
+"""PROV-DM document and Table V mapping tests."""
+
+import pytest
+
+from repro.core import ProvDocument, ProvError, document_from_records
+
+
+def test_nodes_created_and_counted():
+    doc = ProvDocument()
+    doc.agent("workflow:1")
+    doc.activity("task:1", start_time=0.0)
+    doc.entity("data:in1", attributes={"x": 1})
+    assert len(doc) == 3
+
+
+def test_activity_merges_start_and_end():
+    doc = ProvDocument()
+    doc.activity("t", start_time=1.0)
+    doc.activity("t", end_time=2.0)
+    assert doc.activities["t"] == {"startTime": 1.0, "endTime": 2.0}
+
+
+def test_relations_deduplicated():
+    doc = ProvDocument()
+    doc.agent("w")
+    doc.activity("t")
+    doc.was_associated_with("t", "w")
+    doc.was_associated_with("t", "w")
+    assert len(doc.relations) == 1
+
+
+def test_unknown_relation_rejected():
+    doc = ProvDocument()
+    with pytest.raises(ProvError):
+        doc._relate("wasEatenBy", "a", "b")
+
+
+def test_validate_passes_well_formed():
+    doc = ProvDocument()
+    doc.agent("w")
+    doc.activity("t")
+    doc.entity("d")
+    doc.was_associated_with("t", "w")
+    doc.used("t", "d")
+    doc.was_generated_by("d", "t")
+    doc.validate()
+
+
+def test_validate_catches_dangling_reference():
+    doc = ProvDocument()
+    doc.activity("t")
+    doc.was_associated_with("t", "ghost-agent")
+    with pytest.raises(ProvError, match="unknown target"):
+        doc.validate()
+
+
+def test_validate_catches_wrong_domain():
+    doc = ProvDocument()
+    doc.agent("w")
+    doc.entity("d")
+    # `used` needs an activity source; "w" is an agent
+    doc.relations.append(("used", "w", "d"))
+    with pytest.raises(ProvError, match="unknown source"):
+        doc.validate()
+
+
+def make_records():
+    """A small captured workflow: two chained tasks."""
+    return [
+        {"kind": "workflow_begin", "workflow_id": 1, "time": 0.0},
+        {
+            "kind": "task_begin", "workflow_id": 1, "task_id": "t1",
+            "transformation_id": 0, "dependencies": [], "time": 0.0,
+            "status": "running",
+            "data": [{"id": "in1", "workflow_id": 1, "derivations": [],
+                      "attributes": {"x": 1}}],
+        },
+        {
+            "kind": "task_end", "workflow_id": 1, "task_id": "t1",
+            "transformation_id": 0, "dependencies": [], "time": 0.5,
+            "status": "finished",
+            "data": [{"id": "out1", "workflow_id": 1, "derivations": ["in1"],
+                      "attributes": {"y": 2}}],
+        },
+        {
+            "kind": "task_begin", "workflow_id": 1, "task_id": "t2",
+            "transformation_id": 1, "dependencies": ["t1"], "time": 0.5,
+            "status": "running",
+            "data": [{"id": "out1", "workflow_id": 1, "derivations": [],
+                      "attributes": {}}],
+        },
+        {
+            "kind": "task_end", "workflow_id": 1, "task_id": "t2",
+            "transformation_id": 1, "dependencies": ["t1"], "time": 1.0,
+            "status": "finished",
+            "data": [{"id": "out2", "workflow_id": 1, "derivations": ["out1"],
+                      "attributes": {"z": 3}}],
+        },
+        {"kind": "workflow_end", "workflow_id": 1, "time": 1.0},
+    ]
+
+
+def test_document_from_records_table_v_mapping():
+    doc = document_from_records(make_records())
+    doc.validate()
+    # Workflow -> Agent
+    assert "workflow:1" in doc.agents
+    # Task -> Activity with wasAssociatedWith
+    assert ("task:t1", "workflow:1") in doc.relations_of("wasAssociatedWith")
+    assert ("task:t2", "workflow:1") in doc.relations_of("wasAssociatedWith")
+    # dependencies -> wasInformedBy
+    assert ("task:t2", "task:t1") in doc.relations_of("wasInformedBy")
+    # inputs -> used; outputs -> wasGeneratedBy
+    assert ("task:t1", "data:in1") in doc.relations_of("used")
+    assert ("data:out1", "task:t1") in doc.relations_of("wasGeneratedBy")
+    # Data -> Entity with wasAttributedTo and wasDerivedFrom chains
+    assert ("data:out1", "workflow:1") in doc.relations_of("wasAttributedTo")
+    assert ("data:out1", "data:in1") in doc.relations_of("wasDerivedFrom")
+    assert ("data:out2", "data:out1") in doc.relations_of("wasDerivedFrom")
+
+
+def test_document_from_records_task_times():
+    doc = document_from_records(make_records())
+    assert doc.activities["task:t1"]["startTime"] == 0.0
+    assert doc.activities["task:t1"]["endTime"] == 0.5
+
+
+def test_document_from_records_rejects_unknown_kind():
+    with pytest.raises(ProvError):
+        document_from_records([{"kind": "mystery", "workflow_id": 1}])
+
+
+def test_to_prov_json_shape():
+    doc = document_from_records(make_records())
+    pj = doc.to_prov_json()
+    assert set(pj["agent"]) == {"workflow:1"}
+    assert "task:t1" in pj["activity"]
+    assert "data:in1" in pj["entity"]
+    assert {"src": "task:t2", "dst": "task:t1"} in pj["wasInformedBy"]
+
+
+def test_to_prov_json_omits_empty_relations():
+    doc = ProvDocument()
+    doc.agent("w")
+    pj = doc.to_prov_json()
+    assert "used" not in pj

@@ -1,0 +1,168 @@
+"""Codec tests: round-trips, framing, compression, malformed input."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CodecError, decode_payload, decode_value, encode_payload, encode_value
+
+
+SAMPLES = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    127,
+    -128,
+    2**40,
+    -(2**40),
+    0.0,
+    3.14159,
+    -2.5e300,
+    "",
+    "hello",
+    "unicode: héllo wörld ✓",
+    b"",
+    b"\x00\xff" * 10,
+    [],
+    [1, 2, 3],
+    ["mixed", 1, None, True, 2.5],
+    {},
+    {"a": 1},
+    {"nested": {"list": [1, [2, [3]]], "flag": False}},
+    {"kind": "task_begin", "data": [{"id": "in1", "attributes": {"in": [1] * 100}}]},
+]
+
+
+@pytest.mark.parametrize("value", SAMPLES, ids=lambda v: repr(v)[:40])
+def test_value_roundtrip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@pytest.mark.parametrize("value", SAMPLES, ids=lambda v: repr(v)[:40])
+def test_payload_roundtrip(value):
+    assert decode_payload(encode_payload(value)) == value
+
+
+def test_payload_roundtrip_uncompressed():
+    value = {"x": [1.5] * 50}
+    assert decode_payload(encode_payload(value, compress=False)) == value
+
+
+def test_compression_engages_for_redundant_data():
+    value = {"in": [1] * 1000}
+    compressed = encode_payload(value, compress=True)
+    uncompressed = encode_payload(value, compress=False)
+    assert len(compressed) < len(uncompressed) / 5
+
+
+def test_compression_skipped_when_not_beneficial():
+    # tiny payloads: zlib would add bytes, flag must stay clear
+    payload = encode_payload({"t": 1})
+    assert payload[3] & 0x01 == 0
+
+
+def test_binary_is_smaller_than_json_for_float_attrs():
+    import json
+
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    record = {"attrs": [float(x) for x in rng.random(100)]}
+    binary = encode_payload(record)
+    as_json = json.dumps(record).encode()
+    assert len(binary) < len(as_json)
+
+
+def test_decode_rejects_bad_magic():
+    with pytest.raises(CodecError):
+        decode_payload(b"XX\x01\x00abc")
+
+
+def test_decode_rejects_bad_version():
+    with pytest.raises(CodecError):
+        decode_payload(b"PL\x09\x00abc")
+
+
+def test_decode_rejects_short_frames():
+    with pytest.raises(CodecError):
+        decode_payload(b"PL")
+
+
+def test_decode_rejects_corrupt_zlib():
+    good = encode_payload({"in": [1] * 1000})
+    corrupted = good[:4] + b"\x00" + good[5:]
+    with pytest.raises(CodecError):
+        decode_payload(corrupted)
+
+
+def test_decode_rejects_trailing_bytes():
+    data = encode_value(42) + b"\x00"
+    with pytest.raises(CodecError):
+        decode_value(data)
+
+
+def test_decode_rejects_truncation_everywhere():
+    data = encode_value({"key": ["value", 1.0, 7]})
+    for cut in range(1, len(data)):
+        with pytest.raises(CodecError):
+            decode_value(data[:cut])
+
+
+def test_non_string_dict_keys_rejected():
+    with pytest.raises(CodecError):
+        encode_value({1: "x"})
+
+
+def test_unsupported_types_rejected():
+    with pytest.raises(CodecError):
+        encode_value(object())
+    with pytest.raises(CodecError):
+        encode_value({"x": set()})
+
+
+# -- property-based --------------------------------------------------------
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**62), max_value=2**62)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=6)
+    | st.dictionaries(st.text(max_size=10), children, max_size=6),
+    max_leaves=30,
+)
+
+
+@given(json_like)
+@settings(max_examples=200, deadline=None)
+def test_property_value_roundtrip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@given(json_like, st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_property_payload_roundtrip(value, compress):
+    assert decode_payload(encode_payload(value, compress=compress)) == value
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=200, deadline=None)
+def test_property_decoder_never_crashes_uncontrolled(data):
+    # arbitrary bytes either decode or raise CodecError -- nothing else
+    try:
+        decode_payload(data)
+    except CodecError:
+        pass
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**62), max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_property_encoding_deterministic(values):
+    assert encode_value(values) == encode_value(values)

@@ -1,0 +1,174 @@
+"""Tests for config parsing, testbeds and the layers manager."""
+
+import pytest
+
+from repro.e2clab import (
+    ConfigError,
+    LayersServicesManager,
+    ProvisionError,
+    parse_layers_services,
+    parse_network,
+    parse_workflow,
+)
+from repro.e2clab import testbed_by_name as get_testbed  # avoid test* collection
+from repro.net import Network
+from repro.simkernel import Environment
+
+LISTING2 = """
+environment:
+  g5k: cluster: gros
+  iotlab: cluster: grenoble
+  provenance: ProvenanceManager
+layers:
+- name: cloud
+  services:
+  - name: Server, environment: g5k, qtd: 1
+- name: edge
+  services:
+  - name: Client, environment: iotlab, arch: a8, qtd: 8
+"""
+
+
+def test_parse_listing2():
+    config = parse_layers_services(LISTING2)
+    assert config.environment.provenance == "ProvenanceManager"
+    assert set(config.environment.testbeds) == {"g5k", "iotlab"}
+    assert [l.name for l in config.layers] == ["cloud", "edge"]
+    client = config.layer("edge").service("Client")
+    assert client.quantity == 8
+    assert client.arch == "a8"
+    assert client.environment == "iotlab"
+
+
+def test_parse_layers_validation_errors():
+    with pytest.raises(ConfigError, match="layers"):
+        parse_layers_services("environment:\n  g5k: cluster: gros\n")
+    with pytest.raises(ConfigError, match="environment"):
+        parse_layers_services("""
+environment:
+  g5k: cluster: gros
+layers:
+- name: edge
+  services:
+  - name: Client, qtd: 4
+""")
+    with pytest.raises(ConfigError, match="unknown environment"):
+        parse_layers_services("""
+environment:
+  g5k: cluster: gros
+layers:
+- name: edge
+  services:
+  - name: Client, environment: chameleon, qtd: 4
+""")
+    with pytest.raises(ConfigError, match="quantity"):
+        parse_layers_services("""
+environment:
+  g5k: cluster: gros
+layers:
+- name: edge
+  services:
+  - name: Client, environment: g5k, qtd: 0
+""")
+    with pytest.raises(ConfigError, match="duplicate layer"):
+        parse_layers_services("""
+environment:
+  g5k: cluster: gros
+layers:
+- name: edge
+  services:
+  - name: A, environment: g5k
+- name: edge
+  services:
+  - name: B, environment: g5k
+""")
+
+
+def test_parse_network_rules():
+    config = parse_network("""
+networks:
+- src: edge, dst: cloud, rate: "25Kbit", delay: "23ms", loss: 0.01
+""")
+    rule = config.rules[0]
+    assert (rule.src, rule.dst) == ("edge", "cloud")
+    assert rule.rate == "25Kbit"
+    assert rule.delay == "23ms"
+    assert rule.loss == 0.01
+
+
+def test_parse_network_defaults_and_errors():
+    assert parse_network("networks:\n") .rules == []
+    with pytest.raises(ConfigError):
+        parse_network("networks:\n- dst: cloud\n")
+
+
+def test_parse_workflow_entries():
+    config = parse_workflow("""
+workflow:
+- hosts: edge.Client
+  workload: synthetic
+  parameters:
+    number_of_tasks: 10
+    task_duration_s: 0.1
+- hosts: edge.*
+  workload: sensors
+  depends_on: edge.Client:synthetic
+""")
+    first, second = config.entries
+    assert first.hosts == "edge.Client"
+    assert first.parameters["number_of_tasks"] == 10
+    assert second.depends_on == ["edge.Client:synthetic"]
+
+
+def test_parse_workflow_errors():
+    with pytest.raises(ConfigError, match="hosts"):
+        parse_workflow("workflow:\n- workload: synthetic\n  hosts: nodot\n")
+    with pytest.raises(ConfigError):
+        parse_workflow("workflow:\n- hosts: a.b\n")
+
+
+def test_testbed_lookup_and_specs():
+    iotlab = get_testbed("iotlab")
+    assert iotlab.spec_for(arch="a8").name == "iotlab-a8-m3"
+    g5k = get_testbed("g5k")
+    assert g5k.spec_for().name == "xeon-gold-5220"
+    with pytest.raises(KeyError):
+        get_testbed("aws")
+    with pytest.raises(ProvisionError):
+        iotlab.spec_for(arch="riscv")
+
+
+def test_testbed_provision_limits():
+    env = Environment()
+    net = Network(env)
+    iotlab = get_testbed("iotlab")
+    with pytest.raises(ProvisionError):
+        iotlab.provision(net, 0, "x")
+    with pytest.raises(ProvisionError):
+        iotlab.provision(net, 100000, "x")
+
+
+def test_layers_manager_deploys_and_resolves():
+    env = Environment()
+    net = Network(env)
+    manager = LayersServicesManager(net)
+    config = parse_layers_services(LISTING2)
+    deployed = manager.deploy(config)
+    assert len(deployed) == 2
+    client = manager.service("edge", "Client")
+    assert len(client.devices) == 8
+    assert client.devices[0].spec.name == "iotlab-a8-m3"
+    assert client.host_names[0] in net.hosts
+    server = manager.service("cloud", "Server")
+    assert len(server.devices) == 1
+    assert server.devices[0].name == "cloud-server"  # single => no suffix
+
+    assert manager.resolve("edge.Client") == [client]
+    assert manager.resolve("edge.*") == [client]
+    assert len(manager.layer_hosts("edge")) == 8
+    with pytest.raises(KeyError):
+        manager.service("edge", "Ghost")
+    with pytest.raises(KeyError):
+        manager.resolve("fog.*")
+    with pytest.raises(ValueError):
+        manager.resolve("nodot")

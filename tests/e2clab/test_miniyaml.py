@@ -1,0 +1,154 @@
+"""Tests for the mini-YAML parser."""
+
+import pytest
+
+from repro.e2clab import MiniYamlError, loads
+
+
+def test_empty_document():
+    assert loads("") is None
+    assert loads("\n# only a comment\n") is None
+
+
+def test_scalars():
+    assert loads("x: 1")["x"] == 1
+    assert loads("x: 1.5")["x"] == 1.5
+    assert loads("x: true")["x"] is True
+    assert loads("x: no")["x"] is False
+    assert loads("x: null")["x"] is None
+    assert loads("x: ~")["x"] is None
+    assert loads("x: hello world")["x"] == "hello world"
+    assert loads("x: 'quoted: string'")["x"] == "quoted: string"
+    assert loads('x: "23ms"')["x"] == "23ms"
+
+
+def test_flow_list():
+    assert loads("x: [1, 2, 3]")["x"] == [1, 2, 3]
+    assert loads("x: [a, 'b c', 2.5]")["x"] == ["a", "b c", 2.5]
+    assert loads("x: []")["x"] == []
+
+
+def test_nested_mapping():
+    doc = loads("""
+a:
+  b:
+    c: 3
+  d: 4
+e: 5
+""")
+    assert doc == {"a": {"b": {"c": 3}, "d": 4}, "e": 5}
+
+
+def test_block_list_of_scalars():
+    doc = loads("""
+items:
+  - one
+  - 2
+  - true
+""")
+    assert doc == {"items": ["one", 2, True]}
+
+
+def test_list_at_same_indent_as_key():
+    doc = loads("""
+layers:
+- name: cloud
+- name: edge
+""")
+    assert doc == {"layers": [{"name": "cloud"}, {"name": "edge"}]}
+
+
+def test_inline_mapping_list_items():
+    doc = loads("- name: Server, environment: g5k, qtd: 1")
+    assert doc == [{"name": "Server", "environment": "g5k", "qtd": 1}]
+
+
+def test_compact_nested_mapping_value():
+    doc = loads("g5k: cluster: gros")
+    assert doc == {"g5k": {"cluster": "gros"}}
+
+
+def test_paper_listing_2_structure():
+    doc = loads("""
+environment:
+  g5k: cluster: gros
+  iotlab: cluster: grenoble
+  provenance: ProvenanceManager
+layers:
+- name: cloud
+  services:
+  - name: Server, environment: g5k, qtd: 1
+- name: edge
+  services:
+  - name: Client, environment: iotlab, arch: a8, qtd: 64
+""")
+    assert doc["environment"]["g5k"] == {"cluster": "gros"}
+    assert doc["environment"]["provenance"] == "ProvenanceManager"
+    assert doc["layers"][0]["services"][0] == {
+        "name": "Server", "environment": "g5k", "qtd": 1
+    }
+    assert doc["layers"][1]["services"][0]["qtd"] == 64
+
+
+def test_list_item_with_continuation_lines():
+    doc = loads("""
+- name: edge
+  services:
+  - name: Client, qtd: 4
+""")
+    assert doc[0]["name"] == "edge"
+    assert doc[0]["services"][0]["qtd"] == 4
+
+
+def test_comments_are_ignored():
+    doc = loads("""
+# header comment
+x: 1  # trailing comment
+y: "a # not a comment"
+""")
+    assert doc == {"x": 1, "y": "a # not a comment"}
+
+
+def test_urls_are_not_split_as_mappings():
+    doc = loads("url: http://example.com/x")
+    assert doc["url"] == "http://example.com/x"
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(MiniYamlError, match="duplicate"):
+        loads("a: 1\na: 2")
+
+
+def test_tabs_in_indentation_rejected():
+    with pytest.raises(MiniYamlError, match="tabs"):
+        loads("a:\n\tb: 1")
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(MiniYamlError):
+        loads("x: 'oops")
+
+
+def test_unsupported_constructs_rejected():
+    with pytest.raises(MiniYamlError):
+        loads("x: {flow: map}")
+    with pytest.raises(MiniYamlError):
+        loads("x: &anchor 3")
+
+
+def test_bad_indentation_rejected():
+    with pytest.raises(MiniYamlError):
+        loads("a: 1\n    b: 2\n  c: 3")
+
+
+def test_missing_colon_rejected():
+    with pytest.raises(MiniYamlError, match="key"):
+        loads("just a line")
+
+
+def test_load_file(tmp_path):
+    from repro.e2clab import load_file
+
+    path = tmp_path / "config.yaml"
+    path.write_text("a: 1\n")
+    assert load_file(path) == {"a": 1}

@@ -1,0 +1,139 @@
+"""Direct tests for the Provenance Manager (paper Section V)."""
+
+import pytest
+
+from repro.core import Data, Task, Workflow
+from repro.device import A8M3, Device
+from repro.e2clab import ProvenanceManager
+from repro.net import Network
+from repro.simkernel import Environment
+
+
+def make_world(n_edge=2):
+    env = Environment()
+    net = Network(env, seed=8)
+    devices = []
+    for i in range(n_edge):
+        dev = Device(env, A8M3, name=f"edge-{i}")
+        net.add_host(f"edge-{i}", device=dev)
+        devices.append(dev)
+    manager = ProvenanceManager(net)
+    manager.connect_layer_to_server(
+        [d.name for d in devices], bandwidth_bps=1e9, latency_s=0.01
+    )
+    return env, net, manager, devices
+
+
+def test_manager_provisions_its_own_cloud_host():
+    env, net, manager, devices = make_world()
+    assert manager.host_name == "provenance-manager"
+    assert manager.host_name in net.hosts
+    assert net.hosts[manager.host_name].device.spec.name == "xeon-gold-5220"
+
+
+def test_manager_reuses_existing_host():
+    env = Environment()
+    net = Network(env, seed=1)
+    existing = net.add_host("cloud-x")
+    manager = ProvenanceManager(net, host_name="cloud-x")
+    assert manager.host is existing
+
+
+def test_deploy_client_creates_topic_and_translator():
+    env, net, manager, devices = make_world()
+    captured = {}
+
+    def scenario(env):
+        client = yield from manager.deploy_client(devices[0])
+        captured["client"] = client
+        wf = Workflow("wf", client)
+        yield from wf.begin()
+        task = Task(0, wf)
+        yield from task.begin([Data("d0", "wf", {"x": 1})])
+        yield from task.end([Data("d1", "wf", {"y": 2}, derivations=["d0"])])
+        yield from wf.end(drain=True)
+        yield env.timeout(10)
+
+    env.process(scenario(env))
+    env.run()
+    assert captured["client"].topic == "provlight/edge-0/data"
+    assert len(manager.server.translators) == 1
+    assert manager.records_ingested == 4
+    summary = manager.dataflow_summary("wf")
+    assert summary["tasks"] == 1
+
+
+def test_duplicate_topic_rejected():
+    env, net, manager, devices = make_world()
+    errors = []
+
+    def scenario(env):
+        yield from manager.deploy_client(devices[0], topic="same")
+        try:
+            yield from manager.deploy_client(devices[1], topic="same")
+        except ValueError as exc:
+            errors.append(str(exc))
+
+    env.process(scenario(env))
+    env.run()
+    assert len(errors) == 1
+
+
+def test_connect_layer_is_idempotent():
+    env, net, manager, devices = make_world()
+    # calling again must not raise (links already exist)
+    manager.connect_layer_to_server(
+        [d.name for d in devices], bandwidth_bps=1e9, latency_s=0.01
+    )
+    assert net.link("edge-0", manager.host_name) is not None
+
+
+def test_query_passthrough():
+    env, net, manager, devices = make_world()
+
+    def scenario(env):
+        client = yield from manager.deploy_client(devices[0])
+        wf = Workflow("q", client)
+        yield from wf.begin()
+        for i in range(3):
+            task = Task(i, wf)
+            yield from task.begin([])
+            yield from task.end([Data(f"out{i}", "q", {"score": float(i)})])
+        yield from wf.end(drain=True)
+        yield env.timeout(10)
+
+    env.process(scenario(env))
+    env.run()
+    best = (
+        manager.query("datasets")
+        .where("dataflow_tag", "==", "q")
+        .order_by("score", desc=True)
+        .limit(1)
+        .rows()
+    )
+    assert best[0]["score"] == 2.0
+
+
+def test_grouped_manager_clients():
+    env = Environment()
+    net = Network(env, seed=3)
+    dev = Device(env, A8M3, name="edge-g")
+    net.add_host("edge-g", device=dev)
+    manager = ProvenanceManager(net, group_size=4)
+    manager.connect_layer_to_server(["edge-g"], bandwidth_bps=1e9, latency_s=0.01)
+
+    def scenario(env):
+        client = yield from manager.deploy_client(dev)
+        assert client.group_buffer.group_size == 4
+        wf = Workflow("g", client)
+        yield from wf.begin()
+        for i in range(6):
+            task = Task(i, wf)
+            yield from task.begin([])
+            yield from task.end([])
+        yield from wf.end(drain=True)
+        yield env.timeout(10)
+
+    env.process(scenario(env))
+    env.run()
+    assert manager.records_ingested == 14

@@ -1,0 +1,118 @@
+"""Tests for the experiment driver and table/figure harness."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentSetup,
+    TableResult,
+    measure_overhead,
+    run_capture_experiment,
+    run_null_baseline,
+)
+from repro.workloads import SyntheticWorkloadConfig
+
+FAST = SyntheticWorkloadConfig(number_of_tasks=10, task_duration_s=0.1,
+                               attributes_per_task=10)
+
+
+def test_null_baseline_matches_nominal():
+    elapsed = run_null_baseline(FAST, seed=1)
+    assert elapsed == pytest.approx(1.0, rel=0.05)
+
+
+def test_null_baseline_deterministic_per_seed():
+    assert run_null_baseline(FAST, seed=3) == run_null_baseline(FAST, seed=3)
+    assert run_null_baseline(FAST, seed=3) != run_null_baseline(FAST, seed=4)
+
+
+def test_run_capture_experiment_provlight():
+    outcome = run_capture_experiment(ExperimentSetup(system="provlight"), FAST, seed=1)
+    assert len(outcome.elapsed) == 1
+    assert outcome.elapsed[0] > 1.0  # capture adds time
+    assert outcome.backend_records > 0  # records reached the backend
+    assert outcome.metrics[0].capture_cpu_utilization > 0
+
+
+def test_run_capture_experiment_unknown_system():
+    with pytest.raises(ValueError):
+        run_capture_experiment(ExperimentSetup(system="zsystem"), FAST, seed=1)
+
+
+def test_measure_overhead_provlight_is_small():
+    # 0.1 s tasks: per-call cost ~3.9 ms => ~8% overhead expected here
+    result = measure_overhead(ExperimentSetup(system="provlight"), FAST, repetitions=2)
+    assert 0.0 < result.ci.mean < 0.12
+    assert len(result.overheads) == 2
+
+
+def test_measure_overhead_ordering_of_systems():
+    means = {}
+    for system in ("provlight", "dfanalyzer", "provlake"):
+        result = measure_overhead(ExperimentSetup(system=system), FAST,
+                                  repetitions=1, keep_outcomes=False)
+        means[system] = result.ci.mean
+    assert means["provlight"] < means["dfanalyzer"] < means["provlake"]
+
+
+def test_multi_device_experiment():
+    setup = ExperimentSetup(system="provlight", n_devices=3)
+    outcome = run_capture_experiment(setup, FAST, seed=2)
+    assert len(outcome.elapsed) == 3
+    assert len(outcome.metrics) == 3
+
+
+def test_mean_metric_reader():
+    result = measure_overhead(ExperimentSetup(system="provlight"), FAST, repetitions=2)
+    util = result.mean_metric(lambda m: m.capture_cpu_utilization)
+    assert util > 0
+
+
+def test_setup_describe():
+    setup = ExperimentSetup(system="provlake", bandwidth="25Kbit", group_size=10,
+                            n_devices=4)
+    described = setup.describe()
+    assert "provlake" in described and "25Kbit" in described
+    assert "group=10" in described and "devices=4" in described
+
+
+def test_table_result_checks():
+    result = TableResult("t", "T", "text", [], checks=[("a", True), ("b", False)])
+    assert not result.ok
+    assert result.failed_checks() == ["b"]
+    assert "FAILED" in result.summary()
+    good = TableResult("t", "T", "text", [], checks=[("a", True)])
+    assert good.ok and "OK" in good.summary()
+
+
+def test_default_repetitions_env(monkeypatch):
+    from repro.harness import default_repetitions
+
+    monkeypatch.delenv("REPRO_REPETITIONS", raising=False)
+    assert default_repetitions() == 10
+    assert default_repetitions(fallback=3) == 3
+    monkeypatch.setenv("REPRO_REPETITIONS", "7")
+    assert default_repetitions() == 7
+    monkeypatch.setenv("REPRO_REPETITIONS", "0")
+    assert default_repetitions() == 1
+
+
+def test_runner_rejects_unknown_target():
+    from repro.harness import run_targets
+
+    with pytest.raises(SystemExit):
+        run_targets(["tableZ"])
+
+
+def test_runner_runs_single_target(capsys):
+    import os
+
+    os.environ["REPRO_REPETITIONS"] = "1"
+    try:
+        from repro.harness import run_targets
+
+        results = run_targets(["table9"], repetitions=1)
+    finally:
+        del os.environ["REPRO_REPETITIONS"]
+    assert "table9" in results
+    out = capsys.readouterr().out
+    assert "Table IX" in out

@@ -1,0 +1,64 @@
+"""Tests for the harness CLI writer and formatting helpers."""
+
+import pytest
+
+from repro.harness import TableResult
+from repro.harness.runner import write_experiments_md
+from repro.metrics import fmt_si
+
+
+def test_write_experiments_md_appends_sections(tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    path.write_text("# preamble\n")
+    results = {
+        "table7": TableResult("table7", "Table VII", "| cell |", [],
+                              checks=[("a", True)]),
+        "fig6a": TableResult("fig6a", "Fig. 6a CPU", "| cpu |", [],
+                             checks=[("b", True), ("c", False)]),
+    }
+    write_experiments_md(results, str(path))
+    text = path.read_text()
+    assert text.startswith("# preamble")
+    assert "### Table VII" in text
+    assert "| cell |" in text
+    assert "### Fig. 6a CPU" in text
+    assert "FAILED: c" in text
+
+
+def test_main_exit_codes(tmp_path, capsys, monkeypatch):
+    from repro.harness.runner import main
+
+    monkeypatch.setenv("REPRO_REPETITIONS", "1")
+    code = main(["table9", "--reps", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "all shape checks passed" in out
+
+
+def test_main_unknown_target():
+    from repro.harness.runner import main
+
+    with pytest.raises(SystemExit):
+        main(["tableQ"])
+
+
+def test_fmt_si():
+    assert fmt_si(1234.5, "W") == "1.23e+03W"
+    assert fmt_si(0.5) == "0.5"
+
+
+def test_miniyaml_fuzz_does_not_crash():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.e2clab import MiniYamlError, loads
+
+    @given(st.text(alphabet="ab:- #'\n\t[]{},0", max_size=80))
+    @settings(max_examples=300, deadline=None)
+    def fuzz(doc):
+        try:
+            loads(doc)
+        except MiniYamlError:
+            pass
+
+    fuzz()

@@ -1,0 +1,58 @@
+"""Unit tests for HTTP message encoding/parsing."""
+
+import pytest
+
+from repro.http import HttpRequest, HttpResponse
+from repro.http.messages import _parse_headers, HttpError
+
+
+def test_request_encoding_includes_content_length():
+    req = HttpRequest(method="POST", path="/prov", body=b"{}",
+                      headers={"Host": "cloud:80"})
+    wire = req.encode()
+    assert wire.startswith(b"POST /prov HTTP/1.1\r\n")
+    assert b"Content-Length: 2" in wire
+    assert wire.endswith(b"\r\n\r\n{}")
+
+
+def test_request_without_body_has_no_content_length():
+    wire = HttpRequest(method="GET", path="/x").encode()
+    assert b"Content-Length" not in wire
+
+
+def test_response_encoding():
+    resp = HttpResponse(status=201, reason="Created", body=b"ok")
+    wire = resp.encode()
+    assert wire.startswith(b"HTTP/1.1 201 Created\r\n")
+    assert b"Content-Length: 2" in wire
+    assert wire.endswith(b"ok")
+
+
+def test_response_ok_property():
+    assert HttpResponse(status=200).ok
+    assert HttpResponse(status=204).ok
+    assert not HttpResponse(status=404).ok
+    assert not HttpResponse(status=500).ok
+
+
+def test_keep_alive_defaults_and_close():
+    assert HttpRequest().keep_alive()
+    assert not HttpRequest(headers={"Connection": "close"}).keep_alive()
+    assert HttpResponse().keep_alive()
+    assert not HttpResponse(headers={"Connection": "Close"}).keep_alive()
+
+
+def test_wire_size_matches():
+    req = HttpRequest(method="POST", path="/p", body=b"abc")
+    assert req.wire_size == len(req.encode())
+
+
+def test_parse_headers():
+    block = b"Host: cloud:80\r\nContent-Type: application/json"
+    headers = _parse_headers(block)
+    assert headers == {"Host": "cloud:80", "Content-Type": "application/json"}
+
+
+def test_parse_headers_rejects_garbage():
+    with pytest.raises(HttpError):
+        _parse_headers(b"not-a-header-line")

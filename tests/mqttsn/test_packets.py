@@ -1,0 +1,95 @@
+"""Round-trip and framing tests for the MQTT-SN codec."""
+
+import pytest
+
+from repro.mqttsn import packets as pkt
+
+
+ROUNDTRIP_CASES = [
+    pkt.Connect(client_id="edge-1", duration=120, clean_session=True),
+    pkt.Connect(client_id="x", duration=0, clean_session=False),
+    pkt.Connack(return_code=pkt.RC_ACCEPTED),
+    pkt.Connack(return_code=pkt.RC_CONGESTION),
+    pkt.Register(topic_id=0, msg_id=17, topic_name="prov/device/1"),
+    pkt.Regack(topic_id=42, msg_id=17, return_code=pkt.RC_ACCEPTED),
+    pkt.Publish(topic_id=42, msg_id=1, payload=b"\x00\x01data", qos=2),
+    pkt.Publish(topic_id=1, msg_id=0, payload=b"", qos=0),
+    pkt.Publish(topic_id=9, msg_id=5, payload=b"x", qos=1, dup=True, retain=True),
+    pkt.Puback(topic_id=42, msg_id=3),
+    pkt.Pubrec(msg_id=77),
+    pkt.Pubrel(msg_id=77),
+    pkt.Pubcomp(msg_id=77),
+    pkt.Subscribe(msg_id=5, topic_name="prov/+/data", qos=2),
+    pkt.Suback(topic_id=11, msg_id=5, qos=2),
+    pkt.Pingreq(),
+    pkt.Pingresp(),
+    pkt.Disconnect(),
+    pkt.Disconnect(duration=30),
+]
+
+
+@pytest.mark.parametrize("message", ROUNDTRIP_CASES, ids=lambda m: type(m).__name__)
+def test_roundtrip(message):
+    encoded = message.encode()
+    decoded = pkt.decode(encoded)
+    assert decoded == message
+
+
+def test_small_frame_length_prefix():
+    encoded = pkt.Pingreq().encode()
+    assert encoded[0] == len(encoded) == 2
+
+
+def test_long_frame_uses_three_byte_length():
+    payload = b"a" * 300
+    message = pkt.Publish(topic_id=1, msg_id=1, payload=payload, qos=2)
+    encoded = message.encode()
+    assert encoded[0] == 0x01
+    assert pkt.decode(encoded) == message
+
+
+def test_wire_size_matches_encoding():
+    message = pkt.Publish(topic_id=1, msg_id=1, payload=b"abc", qos=1)
+    assert message.wire_size == len(message.encode())
+
+
+def test_publish_header_overhead_is_seven_bytes():
+    # length(1) + type(1) + flags(1) + topic_id(2) + msg_id(2)
+    message = pkt.Publish(topic_id=1, msg_id=1, payload=b"", qos=2)
+    assert message.wire_size == 7
+
+
+def test_decode_rejects_truncated():
+    with pytest.raises(pkt.MalformedPacket):
+        pkt.decode(b"\x05")
+    with pytest.raises(pkt.MalformedPacket):
+        pkt.decode(b"")
+
+
+def test_decode_rejects_bad_length_field():
+    good = pkt.Pubrec(msg_id=1).encode()
+    with pytest.raises(pkt.MalformedPacket):
+        pkt.decode(good[:-1])  # truncated body
+
+
+def test_decode_rejects_unknown_type():
+    with pytest.raises(pkt.MalformedPacket):
+        pkt.decode(bytes([2, 0x7F]))
+
+
+def test_connect_client_id_length_validation():
+    with pytest.raises(ValueError):
+        pkt.Connect(client_id="").encode()
+    with pytest.raises(ValueError):
+        pkt.Connect(client_id="x" * 24).encode()
+
+
+def test_invalid_qos_rejected():
+    with pytest.raises(ValueError):
+        pkt.Publish(topic_id=1, msg_id=1, payload=b"", qos=3).encode()
+
+
+def test_flags_preserved_through_roundtrip():
+    message = pkt.Publish(topic_id=1, msg_id=2, payload=b"p", qos=2, dup=True)
+    decoded = pkt.decode(message.encode())
+    assert decoded.dup and decoded.qos == 2 and not decoded.retain

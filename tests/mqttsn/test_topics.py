@@ -1,0 +1,74 @@
+"""Tests for topic matching and the registry."""
+
+import pytest
+
+from repro.mqttsn import TopicRegistry, topic_matches, validate_filter
+
+
+@pytest.mark.parametrize(
+    "pattern,topic,expected",
+    [
+        ("a/b/c", "a/b/c", True),
+        ("a/b/c", "a/b/d", False),
+        ("a/+/c", "a/b/c", True),
+        ("a/+/c", "a/x/c", True),
+        ("a/+/c", "a/b/c/d", False),
+        ("a/#", "a/b/c/d", True),
+        # per the MQTT spec, "a/#" also matches the parent level "a"
+        ("a/#", "a", True),
+        ("#", "anything/at/all", True),
+        ("+", "one", True),
+        ("+", "one/two", False),
+        ("a/b", "a/b/c", False),
+        ("a/b/c", "a/b", False),
+        ("prov/device-1/data", "prov/device-1/data", True),
+        ("prov/+/data", "prov/device-7/data", True),
+    ],
+)
+def test_topic_matches(pattern, topic, expected):
+    assert topic_matches(pattern, topic) is expected
+
+
+def test_validate_filter_accepts_good_patterns():
+    for pattern in ["a/b", "+/b", "a/#", "#", "+", "a/+/c"]:
+        validate_filter(pattern)
+
+
+@pytest.mark.parametrize("bad", ["", "a/#/b", "a#", "a+/b", "a/b+"])
+def test_validate_filter_rejects_bad_patterns(bad):
+    with pytest.raises(ValueError):
+        validate_filter(bad)
+
+
+def test_registry_assigns_stable_ids():
+    reg = TopicRegistry()
+    tid = reg.register("prov/1")
+    assert reg.register("prov/1") == tid
+    assert reg.id_of("prov/1") == tid
+    assert reg.name_of(tid) == "prov/1"
+
+
+def test_registry_ids_are_unique():
+    reg = TopicRegistry()
+    ids = {reg.register(f"t/{i}") for i in range(100)}
+    assert len(ids) == 100
+    assert len(reg) == 100
+
+
+def test_registry_rejects_wildcards_and_empty():
+    reg = TopicRegistry()
+    with pytest.raises(ValueError):
+        reg.register("a/+/b")
+    with pytest.raises(ValueError):
+        reg.register("a/#")
+    with pytest.raises(ValueError):
+        reg.register("")
+
+
+def test_registry_contains():
+    reg = TopicRegistry()
+    reg.register("x")
+    assert "x" in reg
+    assert "y" not in reg
+    assert reg.name_of(999) is None
+    assert reg.id_of("y") is None

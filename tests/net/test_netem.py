@@ -1,0 +1,105 @@
+"""Tests for rate/delay parsing and constraint application."""
+
+import pytest
+
+from repro.net import Network, NetworkConstraint, apply_constraints, parse_delay, parse_rate
+from repro.simkernel import Environment
+
+
+def test_parse_rate_units():
+    assert parse_rate("1Gbit") == 1e9
+    assert parse_rate("25Kbit") == 25e3
+    assert parse_rate("10Mbit") == 10e6
+    assert parse_rate("100bit") == 100.0
+    assert parse_rate("1KBps") == 8e3
+    assert parse_rate(5000) == 5000.0
+
+
+def test_parse_rate_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_rate("fast")
+    with pytest.raises(ValueError):
+        parse_rate("10parsecs")
+
+
+def test_parse_delay_units():
+    assert parse_delay("23ms") == pytest.approx(0.023)
+    assert parse_delay("2s") == 2.0
+    assert parse_delay("500us") == pytest.approx(500e-6)
+    assert parse_delay(0.5) == 0.5
+
+
+def test_parse_delay_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_delay("soon")
+
+
+def test_constraint_accessors():
+    c = NetworkConstraint(src=["edge"], dst=["cloud"], rate="25Kbit", delay="23ms")
+    assert c.bandwidth_bps() == 25e3
+    assert c.delay_s() == pytest.approx(0.023)
+    assert c.jitter_s() == 0.0
+
+
+def test_apply_constraints_creates_links():
+    env = Environment()
+    net = Network(env)
+    net.add_host("edge-1")
+    net.add_host("cloud")
+    configured = apply_constraints(
+        net,
+        [NetworkConstraint(src=["edge-1"], dst=["cloud"], rate="1Gbit", delay="23ms")],
+    )
+    assert ("edge-1", "cloud") in configured
+    assert net.link("edge-1", "cloud").latency_s == pytest.approx(0.023)
+    assert net.link("cloud", "edge-1").latency_s == pytest.approx(0.023)
+
+
+def test_apply_constraints_reconfigures_existing_links():
+    env = Environment()
+    net = Network(env)
+    net.add_host("edge-1")
+    net.add_host("cloud")
+    net.connect("edge-1", "cloud", bandwidth_bps=1e9, latency_s=0.001)
+    apply_constraints(
+        net,
+        [NetworkConstraint(src=["edge-1"], dst=["cloud"], rate="25Kbit", delay="23ms")],
+    )
+    assert net.link("edge-1", "cloud").bandwidth_bps == 25e3
+
+
+def test_apply_constraints_strict_mode():
+    env = Environment()
+    net = Network(env)
+    net.add_host("a")
+    net.add_host("b")
+    with pytest.raises(KeyError):
+        apply_constraints(
+            net,
+            [NetworkConstraint(src=["a"], dst=["b"])],
+            create_missing=False,
+        )
+
+
+def test_apply_constraints_skips_self_pairs():
+    env = Environment()
+    net = Network(env)
+    net.add_host("a")
+    configured = apply_constraints(
+        net, [NetworkConstraint(src=["a"], dst=["a"])]
+    )
+    assert configured == []
+
+
+def test_fanout_constraint_many_devices():
+    env = Environment()
+    net = Network(env)
+    names = [f"edge-{i}" for i in range(8)]
+    for n in names:
+        net.add_host(n)
+    net.add_host("cloud")
+    configured = apply_constraints(
+        net,
+        [NetworkConstraint(src=names, dst=["cloud"], rate="1Gbit", delay="23ms")],
+    )
+    assert len(configured) == 8

@@ -1,0 +1,268 @@
+"""Property-based tests on core invariants (hypothesis).
+
+These target the data structures and protocols whose correctness the
+evaluation numbers silently depend on: the simulation kernel's clock and
+stores, TCP stream integrity under arbitrary chunking, topic matching,
+the grouping buffer's no-loss invariant, and the query engine against a
+reference implementation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import Environment, Store
+
+
+# -- kernel: time never goes backwards; timeouts fire in order -------------
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_kernel_fires_timeouts_in_nondecreasing_order(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(env, d):
+        yield env.timeout(d)
+        fired.append(env.now)
+
+    for d in delays:
+        env.process(waiter(env, d))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_store_is_fifo_for_any_interleaving(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+            yield env.timeout(0.01)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+
+
+# -- TCP: stream integrity under arbitrary chunking -------------------------
+
+
+@given(
+    st.lists(st.binary(min_size=1, max_size=4000), min_size=1, max_size=8),
+    st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_tcp_delivers_any_chunk_sequence_in_order(chunks, loss):
+    from repro.net import Network
+
+    env = Environment()
+    net = Network(env, seed=4)
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", bandwidth_bps=1e8, latency_s=0.002, loss=loss)
+    listener = net.hosts["b"].tcp_listen(80)
+    total = sum(len(c) for c in chunks)
+    received = bytearray()
+
+    def server(env):
+        conn = yield listener.accept()
+        while len(received) < total:
+            data = yield conn.recv()
+            if not data:
+                break
+            received.extend(data)
+
+    def client(env):
+        conn = yield from net.hosts["a"].tcp_connect(("b", 80))
+        for chunk in chunks:
+            conn.send(chunk)
+            yield env.timeout(0.001)
+
+    env.process(server(env))
+    env.process(client(env))
+    env.run()
+    assert bytes(received) == b"".join(chunks)
+
+
+# -- topic matching: algebraic properties ------------------------------------
+
+
+topic_level = st.text(alphabet="abcz09", min_size=1, max_size=4)
+topics = st.lists(topic_level, min_size=1, max_size=5).map("/".join)
+
+
+@given(topics)
+@settings(max_examples=100, deadline=None)
+def test_topic_matches_itself(topic):
+    from repro.mqttsn import topic_matches
+
+    assert topic_matches(topic, topic)
+
+
+@given(topics)
+@settings(max_examples=100, deadline=None)
+def test_hash_wildcard_matches_everything(topic):
+    from repro.mqttsn import topic_matches
+
+    assert topic_matches("#", topic)
+
+
+@given(topics, st.integers(min_value=0, max_value=4))
+@settings(max_examples=100, deadline=None)
+def test_plus_wildcard_matches_any_single_level(topic, position):
+    from repro.mqttsn import topic_matches
+
+    levels = topic.split("/")
+    position = min(position, len(levels) - 1)
+    pattern_levels = list(levels)
+    pattern_levels[position] = "+"
+    assert topic_matches("/".join(pattern_levels), topic)
+
+
+# -- grouping: no record lost or duplicated for any group size ----------------
+
+
+@given(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=60))
+@settings(max_examples=200, deadline=None)
+def test_group_buffer_conserves_records(group_size, n_records):
+    from repro.core import GroupBuffer
+
+    buf = GroupBuffer(group_size)
+    out = []
+    for i in range(n_records):
+        group = buf.add({"i": i})
+        if group:
+            out.extend(group)
+    final = buf.flush()
+    if final:
+        out.extend(final)
+    assert [r["i"] for r in out] == list(range(n_records))
+
+
+# -- query engine vs reference implementation ----------------------------------
+
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries(
+        {
+            "id": st.integers(min_value=0, max_value=50),
+            "value": st.floats(min_value=-100, max_value=100, allow_nan=False),
+            "group": st.sampled_from(["a", "b", "c"]),
+        }
+    ),
+    max_size=40,
+)
+
+
+@given(rows_strategy, st.floats(min_value=-100, max_value=100, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_query_where_matches_reference_filter(rows, threshold):
+    from repro.dfanalyzer import ColumnStore, Query
+
+    store = ColumnStore()
+    table = store.create_table("t")
+    table.insert_many(rows)
+    measured = Query(store, "t").where("value", ">", threshold).rows()
+    expected = [r for r in rows if r["value"] > threshold]
+    assert [m["id"] for m in measured] == [e["id"] for e in expected]
+
+
+@given(rows_strategy)
+@settings(max_examples=100, deadline=None)
+def test_query_group_by_matches_reference_aggregation(rows):
+    from repro.dfanalyzer import ColumnStore, Query
+
+    store = ColumnStore()
+    table = store.create_table("t")
+    table.insert_many(rows)
+    measured = {
+        r["group"]: (r["n"], r["best"])
+        for r in Query(store, "t")
+        .group_by("group", aggregate={"n": ("count", "value"), "best": ("max", "value")})
+        .rows()
+    }
+    expected = {}
+    for row in rows:
+        n, best = expected.get(row["group"], (0, None))
+        expected[row["group"]] = (
+            n + 1,
+            row["value"] if best is None else max(best, row["value"]),
+        )
+    assert measured == expected
+
+
+@given(rows_strategy, st.integers(min_value=0, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_query_order_limit_matches_reference(rows, k):
+    from repro.dfanalyzer import ColumnStore, Query
+
+    store = ColumnStore()
+    table = store.create_table("t")
+    table.insert_many(rows)
+    measured = (
+        Query(store, "t").order_by("value", desc=True).limit(k).scalars("value")
+    )
+    expected = sorted((r["value"] for r in rows), reverse=True)[:k]
+    assert measured == expected
+
+
+# -- statistics: CI contains the mean; overhead sign ----------------------------
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_mean_ci_brackets_the_mean(values):
+    from repro.metrics import mean_ci
+
+    ci = mean_ci(values)
+    assert ci.low <= ci.mean <= ci.high
+    assert ci.halfwidth >= 0
+
+
+@given(st.floats(min_value=0.01, max_value=1e5, allow_nan=False),
+       st.floats(min_value=0.01, max_value=1e5, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_relative_overhead_sign(with_capture, without):
+    from repro.metrics import relative_overhead
+
+    overhead = relative_overhead(with_capture, without)
+    if with_capture > without:
+        assert overhead > 0
+    elif with_capture < without:
+        assert overhead < 0
+    else:
+        assert overhead == 0
+
+
+# -- energy: monotonicity ---------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000), max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_energy_monotonic_in_transmitted_bytes(sizes):
+    from repro.calibration import A8M3_ENERGY
+    from repro.device import A8M3, Cpu, EnergyMeter
+
+    env = Environment()
+    meter = EnergyMeter(env, A8M3_ENERGY, Cpu(env, A8M3))
+    last = meter.energy_joules()
+    for size in sizes:
+        meter.on_transmit(size)
+        current = meter.energy_joules()
+        assert current >= last
+        last = current

@@ -1,0 +1,162 @@
+"""Tests for AllOf / AnyOf conditions and operator composition."""
+
+import pytest
+
+from repro.simkernel import Environment
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(5, value="b")
+        result = yield env.all_of([t1, t2])
+        times.append(env.now)
+        return result.values()
+
+    p = env.process(proc(env))
+    env.run()
+    assert times == [5.0]
+    assert p.value == ["a", "b"]
+
+
+def test_any_of_returns_on_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(5, value="slow")
+        result = yield env.any_of([t1, t2])
+        return (env.now, result.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1.0, ["fast"])
+
+
+def test_and_operator():
+    env = Environment()
+
+    def proc(env):
+        result = yield env.timeout(1, value=1) & env.timeout(2, value=2)
+        return (env.now, sorted(result.values()))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (2.0, [1, 2])
+
+
+def test_or_operator():
+    env = Environment()
+
+    def proc(env):
+        result = yield env.timeout(1, value=1) | env.timeout(2, value=2)
+        return (env.now, result.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1.0, [1])
+
+
+def test_empty_all_of_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        yield env.all_of([])
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_empty_any_of_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        yield env.any_of([])
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_condition_value_mapping_interface():
+    env = Environment()
+    holder = {}
+
+    def proc(env):
+        t1 = env.timeout(1, value="x")
+        t2 = env.timeout(2, value="y")
+        result = yield env.all_of([t1, t2])
+        holder["result"] = result
+        holder["t1"] = t1
+        holder["t2"] = t2
+
+    env.process(proc(env))
+    env.run()
+    result = holder["result"]
+    assert result[holder["t1"]] == "x"
+    assert holder["t2"] in result
+    assert len(result) == 2
+    assert result.todict() == {holder["t1"]: "x", holder["t2"]: "y"}
+
+
+def test_nested_conditions_flatten_values():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value=1)
+        t2 = env.timeout(2, value=2)
+        t3 = env.timeout(3, value=3)
+        result = yield (t1 & t2) & t3
+        return sorted(result.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == [1, 2, 3]
+
+
+def test_condition_propagates_failure():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1)
+        raise ValueError("inner")
+
+    def waiter(env):
+        with pytest.raises(ValueError, match="inner"):
+            yield env.all_of([env.process(failing(env)), env.timeout(10)])
+        return env.now
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == 1.0
+
+
+def test_condition_rejects_foreign_events():
+    env1 = Environment()
+    env2 = Environment()
+    with pytest.raises(ValueError):
+        env1.all_of([env1.timeout(1), env2.timeout(1)])
+
+
+def test_condition_with_already_processed_event():
+    env = Environment()
+    marker = []
+
+    def first(env):
+        yield env.timeout(1)
+
+    def second(env, done):
+        yield env.timeout(2)
+        result = yield env.all_of([done, env.timeout(1, value="late")])
+        marker.append((env.now, len(result)))
+
+    done = env.process(first(env))
+    env.process(second(env, done))
+    env.run()
+    assert marker == [(3.0, 2)]

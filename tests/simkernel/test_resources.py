@@ -1,0 +1,345 @@
+"""Tests for Resource, Container, Store and variants."""
+
+import pytest
+
+from repro.simkernel import (
+    Container,
+    Environment,
+    FilterStore,
+    PriorityItem,
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+
+# -- Resource ---------------------------------------------------------------
+
+
+def test_resource_grants_within_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    granted = []
+
+    def user(env, res, label):
+        with res.request() as req:
+            yield req
+            granted.append((label, env.now))
+            yield env.timeout(5)
+
+    env.process(user(env, res, "a"))
+    env.process(user(env, res, "b"))
+    env.run()
+    assert granted == [("a", 0.0), ("b", 0.0)]
+
+
+def test_resource_queues_beyond_capacity():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = []
+
+    def user(env, res, label, hold):
+        with res.request() as req:
+            yield req
+            granted.append((label, env.now))
+            yield env.timeout(hold)
+
+    env.process(user(env, res, "a", 3))
+    env.process(user(env, res, "b", 1))
+    env.run()
+    assert granted == [("a", 0.0), ("b", 3.0)]
+
+
+def test_resource_count_and_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1)
+
+    env.process(user(env, res))
+    env.process(user(env, res))
+    env.process(user(env, res))
+    env.run(until=0.5)
+    assert res.capacity == 2
+    assert res.count == 2
+    assert len(res.queue) == 1
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_explicit_release():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        req = res.request()
+        yield req
+        order.append(("hold", env.now))
+        yield env.timeout(2)
+        yield res.release(req)
+
+    def waiter(env, res):
+        with res.request() as req:
+            yield req
+            order.append(("wait-granted", env.now))
+
+    env.process(holder(env, res))
+    env.process(waiter(env, res))
+    env.run()
+    assert order == [("hold", 0.0), ("wait-granted", 2.0)]
+
+
+def test_cancel_queued_request_leaves_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def impatient(env, res):
+        req = res.request()
+        # give up without ever acquiring
+        yield env.timeout(1)
+        req.cancel()
+
+    env.process(holder(env, res))
+    env.process(impatient(env, res))
+    env.run(until=2)
+    assert len(res.queue) == 0
+
+
+def test_priority_resource_orders_waiters():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(5)
+
+    def user(env, label, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(label)
+
+    env.process(holder(env))
+    env.process(user(env, "low", 5, 1))
+    env.process(user(env, "high", 1, 2))
+    env.run()
+    assert order == ["high", "low"]
+
+
+# -- Container ---------------------------------------------------------------
+
+
+def test_container_put_get():
+    env = Environment()
+    tank = Container(env, capacity=100, init=10)
+    levels = []
+
+    def producer(env):
+        yield tank.put(50)
+        levels.append(("after-put", tank.level))
+
+    def consumer(env):
+        yield tank.get(40)
+        levels.append(("after-get", tank.level))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    # Both operations complete; net level is 10 + 50 - 40.
+    assert len(levels) == 2
+    assert tank.level == 20
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    tank = Container(env, capacity=10, init=0)
+    times = []
+
+    def consumer(env):
+        yield tank.get(5)
+        times.append(env.now)
+
+    def producer(env):
+        yield env.timeout(3)
+        yield tank.put(5)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert times == [3.0]
+
+
+def test_container_put_blocks_when_full():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    times = []
+
+    def producer(env):
+        yield tank.put(5)
+        times.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(2)
+        yield tank.get(6)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert times == [2.0]
+
+
+def test_container_rejects_bad_amounts():
+    env = Environment()
+    tank = Container(env, capacity=10, init=0)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+
+
+# -- Store ---------------------------------------------------------------
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for item in ["x", "y", "z"]:
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer(env):
+        yield env.timeout(4)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [("late", 4.0)]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env):
+        yield store.put("a")
+        yield store.put("b")
+        times.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(5)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert times == [5.0]
+
+
+def test_filter_store_selects_matching():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def producer(env):
+        for item in [1, 2, 3, 4]:
+            yield store.put(item)
+
+    def consumer(env):
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [2]
+    assert store.items == [1, 3, 4]
+
+
+def test_filter_store_waits_for_match():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get(lambda x: x == "wanted")
+        got.append((item, env.now))
+
+    def producer(env):
+        yield store.put("other")
+        yield env.timeout(2)
+        yield store.put("wanted")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [("wanted", 2.0)]
+
+
+def test_priority_store_yields_smallest():
+    env = Environment()
+    store = PriorityStore(env)
+    got = []
+
+    def producer(env):
+        yield store.put(PriorityItem(3, "low"))
+        yield store.put(PriorityItem(1, "high"))
+        yield store.put(PriorityItem(2, "mid"))
+
+    def consumer(env):
+        yield env.timeout(1)
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item.item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == ["high", "mid", "low"]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
