@@ -30,6 +30,11 @@ RECORD_100 = {
 }
 
 
+#: the grouped-capture payload shape of Tables III/VIII: one flush of a
+#: group_size=50 buffer, where key interning compounds across records
+GROUP_50 = [RECORD_10] * 50
+
+
 def test_encode_payload_10_attrs(benchmark):
     wire = benchmark(encode_payload, RECORD_10)
     assert decode_payload(wire) == RECORD_10
@@ -37,6 +42,13 @@ def test_encode_payload_10_attrs(benchmark):
 
 def test_encode_payload_100_attrs(benchmark):
     wire = benchmark(encode_payload, RECORD_100)
+    assert decode_payload(wire) == RECORD_100
+
+
+def test_encode_payload_100_attrs_v1_baseline(benchmark):
+    # the seed (v1) encoder, kept as the perf baseline the v2 fast path
+    # is judged against (>=2x encode+decode is the acceptance bar)
+    wire = benchmark(lambda: encode_payload(RECORD_100, version=1))
     assert decode_payload(wire) == RECORD_100
 
 
@@ -48,6 +60,38 @@ def test_encode_payload_uncompressed_100_attrs(benchmark):
 def test_decode_payload_100_attrs(benchmark):
     wire = encode_payload(RECORD_100)
     assert benchmark(decode_payload, wire) == RECORD_100
+
+
+def test_decode_payload_100_attrs_v1_baseline(benchmark):
+    wire = encode_payload(RECORD_100, version=1)
+    assert benchmark(decode_payload, wire) == RECORD_100
+
+
+def test_encode_grouped_payload_50x10(benchmark):
+    wire = benchmark(encode_payload, GROUP_50)
+    assert decode_payload(wire) == GROUP_50
+
+
+def test_encode_grouped_payload_50x10_v1_baseline(benchmark):
+    wire = benchmark(lambda: encode_payload(GROUP_50, version=1))
+    assert decode_payload(wire) == GROUP_50
+
+
+def test_decode_grouped_payload_50x10(benchmark):
+    wire = encode_payload(GROUP_50)
+    assert benchmark(decode_payload, wire) == GROUP_50
+
+
+def test_grouped_payload_interning_size_win():
+    # key/value interning compounds across grouped records: the v2
+    # representation is >=20% smaller before compression, and the
+    # compressed wire bytes must not regress either
+    v1 = len(encode_payload(GROUP_50, version=1, compress=False))
+    v2 = len(encode_payload(GROUP_50, compress=False))
+    assert v2 <= v1 * 0.8, f"uncompressed grouped: v1={v1} v2={v2}"
+    v1c = len(encode_payload(GROUP_50, version=1))
+    v2c = len(encode_payload(GROUP_50))
+    assert v2c <= v1c, f"compressed grouped: v1={v1c} v2={v2c}"
 
 
 def test_json_encode_100_attrs_for_comparison(benchmark):

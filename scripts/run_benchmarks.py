@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Run the codec microbenchmarks and record the perf trajectory.
+
+Runs ``benchmarks/test_microbench_codecs.py`` under pytest-benchmark with
+a fixed seed, then writes ``BENCH_microbench_codecs.json`` at the repo
+root: median ns/op per benchmark, the real payload sizes the codecs
+produce, and the headline v2-vs-v1 ratios the hot-path issue tracks.
+
+Regression gate: when ``benchmarks/baseline_microbench_codecs.json``
+exists, any benchmark whose median is more than ``--threshold`` (default
+25%) slower than the baseline fails the run with exit code 1, so CI can
+catch codec regressions.  ``--write-baseline`` refreshes the baseline
+from the current run.
+
+Usage::
+
+    python scripts/run_benchmarks.py              # run + write BENCH json
+    python scripts/run_benchmarks.py --write-baseline
+    python scripts/run_benchmarks.py --threshold 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "benchmarks" / "test_microbench_codecs.py"
+OUTPUT_FILE = REPO_ROOT / "BENCH_microbench_codecs.json"
+BASELINE_FILE = REPO_ROOT / "benchmarks" / "baseline_microbench_codecs.json"
+
+#: deterministic interpreter state for reproducible dict ordering/hashing
+FIXED_SEED = "0"
+
+
+def run_pytest_benchmark(json_out: Path) -> None:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = FIXED_SEED
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "-q",
+        "--benchmark-only",
+        "--benchmark-disable-gc",
+        "--benchmark-warmup=on",
+        f"--benchmark-json={json_out}",
+    ]
+    result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        sys.exit(f"benchmark run failed (pytest exit {result.returncode})")
+
+
+def payload_sizes() -> dict:
+    import importlib.util
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core import encode_payload
+
+    spec = importlib.util.spec_from_file_location("microbench_codecs", BENCH_FILE)
+    mb = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mb)
+
+    record_100 = mb.RECORD_100
+    group_50 = mb.GROUP_50
+    return {
+        "record_100_v1_bytes": len(encode_payload(record_100, version=1)),
+        "record_100_v2_bytes": len(encode_payload(record_100)),
+        "record_100_v1_uncompressed_bytes": len(
+            encode_payload(record_100, version=1, compress=False)
+        ),
+        "record_100_v2_uncompressed_bytes": len(
+            encode_payload(record_100, compress=False)
+        ),
+        "grouped_50x10_v1_bytes": len(encode_payload(group_50, version=1)),
+        "grouped_50x10_v2_bytes": len(encode_payload(group_50)),
+        "grouped_50x10_v1_uncompressed_bytes": len(
+            encode_payload(group_50, version=1, compress=False)
+        ),
+        "grouped_50x10_v2_uncompressed_bytes": len(
+            encode_payload(group_50, compress=False)
+        ),
+    }
+
+
+def summarize(raw: dict) -> dict:
+    benchmarks = {}
+    for bench in raw.get("benchmarks", ()):
+        stats = bench["stats"]
+        benchmarks[bench["name"]] = {
+            "median_ns": round(stats["median"] * 1e9, 1),
+            "mean_ns": round(stats["mean"] * 1e9, 1),
+            "stddev_ns": round(stats["stddev"] * 1e9, 1),
+            "rounds": stats["rounds"],
+        }
+    return benchmarks
+
+
+def headline(benchmarks: dict, sizes: dict) -> dict:
+    def median(name: str):
+        entry = benchmarks.get(name)
+        return entry["median_ns"] if entry else None
+
+    out: dict = {}
+    e1 = median("test_encode_payload_100_attrs_v1_baseline")
+    e2 = median("test_encode_payload_100_attrs")
+    d1 = median("test_decode_payload_100_attrs_v1_baseline")
+    d2 = median("test_decode_payload_100_attrs")
+    if all(x for x in (e1, e2, d1, d2)):
+        out["encode_speedup_v2_over_v1"] = round(e1 / e2, 2)
+        out["decode_speedup_v2_over_v1"] = round(d1 / d2, 2)
+        out["encode_decode_speedup_v2_over_v1"] = round((e1 + d1) / (e2 + d2), 2)
+    g1 = sizes["grouped_50x10_v1_uncompressed_bytes"]
+    g2 = sizes["grouped_50x10_v2_uncompressed_bytes"]
+    out["grouped_uncompressed_size_reduction"] = round(1 - g2 / g1, 3)
+    out["grouped_compressed_size_reduction"] = round(
+        1 - sizes["grouped_50x10_v2_bytes"] / sizes["grouped_50x10_v1_bytes"], 3
+    )
+    return out
+
+
+def check_regressions(benchmarks: dict, baseline: dict, threshold: float) -> list:
+    regressions = []
+    for name, entry in baseline.get("benchmarks", {}).items():
+        current = benchmarks.get(name)
+        if current is None:
+            continue
+        old, new = entry["median_ns"], current["median_ns"]
+        if old > 0 and new > old * (1 + threshold):
+            regressions.append(
+                f"{name}: median {new:.0f} ns vs baseline {old:.0f} ns "
+                f"(+{(new / old - 1):.0%}, threshold +{threshold:.0%})"
+            )
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional slowdown that counts as a regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"refresh {BASELINE_FILE.name} from this run",
+    )
+    args = parser.parse_args()
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_out = Path(handle.name)
+    try:
+        run_pytest_benchmark(json_out)
+        raw = json.loads(json_out.read_text())
+    finally:
+        json_out.unlink(missing_ok=True)
+
+    benchmarks = summarize(raw)
+    sizes = payload_sizes()
+    report = {
+        "schema": 1,
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "fixed_seed": FIXED_SEED,
+        "benchmarks": benchmarks,
+        "payload_sizes": sizes,
+        "headline": headline(benchmarks, sizes),
+    }
+    OUTPUT_FILE.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT_FILE.relative_to(REPO_ROOT)}")
+    for key, value in report["headline"].items():
+        print(f"  {key}: {value}")
+
+    if args.write_baseline:
+        BASELINE_FILE.write_text(
+            json.dumps({"benchmarks": benchmarks}, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {BASELINE_FILE.relative_to(REPO_ROOT)}")
+        return 0
+
+    if BASELINE_FILE.exists():
+        baseline = json.loads(BASELINE_FILE.read_text())
+        regressions = check_regressions(benchmarks, baseline, args.threshold)
+        if regressions:
+            print("PERFORMANCE REGRESSIONS:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {BASELINE_FILE.relative_to(REPO_ROOT)}")
+    else:
+        print("no checked-in baseline; skipping regression gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,21 +109,23 @@ class ProvLightClient:
             raise RuntimeError("capture before setup()")
         self.records_captured.record()
         n_attrs = count_attributes_from_record(record)
+        costs = self.costs
+        cpu_run = self.device.cpu.run
         if groupable and self.group_buffer.enabled:
-            yield from self.device.cpu.run(
-                compute_s=self.costs.buffered_fixed_compute_s
-                + self.costs.buffered_per_attr_compute_s * n_attrs,
-                io_wait_s=self.costs.buffered_io_s,
+            yield from cpu_run(
+                compute_s=costs.buffered_fixed_compute_s
+                + costs.buffered_per_attr_compute_s * n_attrs,
+                io_wait_s=costs.buffered_io_s,
                 tag="capture",
             )
             group = self.group_buffer.add(record)
             if group is not None:
                 yield from self._flush_group(group)
         else:
-            yield from self.device.cpu.run(
-                compute_s=self.costs.inline_fixed_compute_s
-                + self.costs.inline_per_attr_compute_s * n_attrs,
-                io_wait_s=self.costs.inline_io_s,
+            yield from cpu_run(
+                compute_s=costs.inline_fixed_compute_s
+                + costs.inline_per_attr_compute_s * n_attrs,
+                io_wait_s=costs.inline_io_s,
                 tag="capture",
             )
             self._enqueue(
@@ -157,10 +159,11 @@ class ProvLightClient:
 
     # ------------------------------------------------------------- internals
     def _flush_group(self, group: List[Dict[str, Any]]):
+        costs = self.costs
         yield from self.device.cpu.run(
-            compute_s=self.costs.group_flush_fixed_compute_s
-            + self.costs.group_flush_per_record_compute_s * len(group),
-            io_wait_s=self.costs.group_flush_io_s,
+            compute_s=costs.group_flush_fixed_compute_s
+            + costs.group_flush_per_record_compute_s * len(group),
+            io_wait_s=costs.group_flush_io_s,
             tag="capture",
         )
         self._enqueue(
@@ -201,12 +204,18 @@ class ProvLightClient:
         return f"<ProvLightClient {self.topic} on {self.device.name}>"
 
 
+_CONTAINER_TYPES = (list, tuple, dict)
+
+
 def count_attributes_from_record(record: Dict[str, Any]) -> int:
     """Attribute count of a record (see :func:`~repro.core.model.count_attributes`)."""
     total = 0
     for item in record.get("data", ()):
-        for value in item.get("attributes", {}).values():
-            if isinstance(value, (list, tuple, dict)):
+        attributes = item.get("attributes")
+        if not attributes:
+            continue
+        for value in attributes.values():
+            if isinstance(value, _CONTAINER_TYPES):
                 total += len(value)
             else:
                 total += 1

@@ -9,6 +9,7 @@ store or an HTTP endpoint of a provenance system.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Callable, Dict, List, Optional
 
 from ..calibration import SERVER_COSTS, ServerCosts
@@ -45,9 +46,9 @@ class HttpBackend:
         self.delivered = Counter("backend-delivered")
 
     def ingest(self, translated: Any):
-        import json
-
-        body = json.dumps(translated, default=str).encode()
+        # compact separators: backend POST bodies are real wire bytes in
+        # the simulation, so whitespace would inflate every ingest
+        body = json.dumps(translated, default=str, separators=(",", ":")).encode()
         response = yield from self.session.post(self.endpoint, self.path, body)
         if not response.ok:
             raise RuntimeError(f"backend rejected ingest: {response.status}")

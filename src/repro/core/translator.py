@@ -33,11 +33,13 @@ def records_from_payload(payload: bytes, cipher=None) -> List[Dict[str, Any]]:
     """Decode a wire payload into a list of records.
 
     A payload is either one record (dict) or a group (list of dicts).
+    The decoder only ever produces plain dicts/lists, so exact type
+    checks suffice on this per-message path.
     """
     value = decode_payload(payload, cipher=cipher)
-    if isinstance(value, dict):
+    if type(value) is dict:
         return [value]
-    if isinstance(value, list) and all(isinstance(r, dict) for r in value):
+    if type(value) is list and all(type(r) is dict for r in value):
         return value
     raise TranslationError(f"unexpected payload structure: {type(value).__name__}")
 

@@ -51,19 +51,26 @@ class Cpu:
         Busy components hold one core for their (scaled) duration; the wait
         component delays the caller without occupying a core.
         """
-        busy = self.spec.scale_compute(compute_s) + self.spec.scale_io(io_busy_s)
+        spec = self.spec
+        env = self.env
+        busy = 0.0
+        if compute_s:
+            busy = spec.scale_compute(compute_s)
+        if io_busy_s:
+            busy += spec.scale_io(io_busy_s)
         if busy > 0:
             with self._cores.request() as req:
                 yield req
                 self.busy_cores.add(1)
                 try:
-                    yield self.env.timeout(busy)
+                    yield env.timeout(busy)
                 finally:
                     self.busy_cores.add(-1)
                     self._busy_time_by_tag[tag] += busy
-        wait = self.spec.scale_io(io_wait_s)
-        if wait > 0:
-            yield self.env.timeout(wait)
+        if io_wait_s:
+            wait = spec.scale_io(io_wait_s)
+            if wait > 0:
+                yield env.timeout(wait)
 
     def run_async(
         self,

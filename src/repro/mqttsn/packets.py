@@ -83,12 +83,29 @@ class MalformedPacket(MqttSnError):
     """Bytes that do not decode to a valid MQTT-SN message."""
 
 
+#: preallocated ``length | msgType`` short-frame headers, indexed
+#: ``[msg_type][total]`` — every QoS 2 publish sends four control packets
+#: through :func:`_frame`, so the per-call ``bytes([total, msg_type])``
+#: allocation was pure hot-path overhead
+_SHORT_HEADERS = {
+    msg_type: tuple(bytes((total, msg_type)) for total in range(256))
+    for msg_type in (
+        MT_CONNECT, MT_CONNACK, MT_REGISTER, MT_REGACK, MT_PUBLISH,
+        MT_PUBACK, MT_PUBCOMP, MT_PUBREC, MT_PUBREL, MT_SUBSCRIBE,
+        MT_SUBACK, MT_PINGREQ, MT_PINGRESP, MT_DISCONNECT,
+    )
+}
+
+_pack_long_frame = struct.Struct(">BHB").pack
+_pack_publish_head = struct.Struct(">BHH").pack
+
+
 def _frame(msg_type: int, body: bytes) -> bytes:
     total = 2 + len(body)  # length octet + type octet + body
     if total <= 255:
-        return bytes([total, msg_type]) + body
+        return _SHORT_HEADERS[msg_type][total] + body
     total = 4 + len(body)  # 3 length octets + type octet + body
-    return b"\x01" + struct.pack(">H", total) + bytes([msg_type]) + body
+    return _pack_long_frame(0x01, total, msg_type) + body
 
 
 def _qos_to_flags(qos: int) -> int:
@@ -218,7 +235,8 @@ class Publish(MqttSnMessage):
             flags |= FLAG_DUP
         if self.retain:
             flags |= FLAG_RETAIN
-        return bytes([flags]) + struct.pack(">HH", self.topic_id, self.msg_id) + self.payload
+        # one pack + one concat instead of three intermediate allocations
+        return _pack_publish_head(flags, self.topic_id, self.msg_id) + self.payload
 
     @classmethod
     def _parse(cls, body: bytes) -> "Publish":

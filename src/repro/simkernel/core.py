@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, Optional
 
 from .events import (
@@ -46,6 +46,8 @@ class Environment:
         assert env.now == 1.5 and proc.value == "done"
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []  # heap of (time, priority, eid, event)
@@ -69,8 +71,28 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """Create a :class:`Timeout` that fires ``delay`` seconds from now.
+
+        Timeouts dominate the event heap (every modeled CPU slice and
+        network wait allocates one), so this builds the object directly
+        instead of going through ``Timeout.__init__`` → ``schedule`` —
+        the two extra frames are measurable at scalability-run volume.
+        KEEP IN SYNC with ``Timeout.__init__``/``Event.__init__``
+        (tests/simkernel/test_core.py pins the two construction paths
+        to identical state).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event.delay = delay
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, NORMAL, eid, event))
+        return event
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Start a new process from ``generator``."""
@@ -87,8 +109,8 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Schedule ``event`` to be processed ``delay`` seconds from now."""
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
@@ -101,24 +123,24 @@ class Environment:
 
         Raises :class:`EmptySchedule` when the queue is empty.
         """
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        queue = self._queue
+        if not queue:
+            raise EmptySchedule()
+        self._now, _, _, event = heappop(queue)
 
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
         if callbacks is None:
             # Event was already processed (can happen when an event is
             # scheduled twice, e.g. via trigger chains); nothing to do.
             return
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
 
         if not event._ok and not event._defused:
             # An unhandled failure crashes the simulation, mirroring an
             # uncaught exception in a thread you actually care about.
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -146,9 +168,10 @@ class Environment:
                 stop.callbacks = [_stop_simulation]
                 self.schedule(stop, NORMAL, at - self._now)
 
+        step = self.step
         try:
             while True:
-                self.step()
+                step()
         except StopSimulation as exc:
             return exc.args[0] if exc.args else None
         except EmptySchedule:

@@ -142,7 +142,12 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after ``delay`` units of simulated time."""
+    """An event that triggers after ``delay`` units of simulated time.
+
+    ``Environment.timeout`` builds Timeouts without calling this
+    initializer (hot-path shortcut) — keep the field set here and there
+    in sync.
+    """
 
     __slots__ = ("delay",)
 
@@ -249,16 +254,18 @@ class Process(Event):
         """Resume the generator with the value of ``event``."""
         env = self.env
         env._active_proc = self
+        generator = self._generator
+        send = generator.send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The event failed: re-raise inside the process.  Mark
                     # it defused -- the process had the chance to handle it.
                     event._defused = True
                     exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as exc:
                 # Process finished successfully.
                 self._ok = True

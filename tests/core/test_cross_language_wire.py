@@ -70,13 +70,72 @@ EXPECTED = {
 }
 
 
+def hand_encoded_record_v2() -> bytes:
+    """Byte-for-byte v2 frame for the same record: string table + refs.
+
+    v2 body layout: varint table byte-length | varint count | count x
+    (varint len + utf-8) | value, where strings are T_STRREF (0x09)
+    varint indexes into the table.
+    """
+
+    def varint(n: int) -> bytes:
+        out = bytearray()
+        while True:
+            b = n & 0x7F
+            n >>= 7
+            if n:
+                out.append(b | 0x80)
+            else:
+                out.append(b)
+                return bytes(out)
+
+    strings = ["kind", "task_end", "workflow_id", "task_id", "time",
+               "status", "finished", "dependencies", "data"]
+    table = bytearray(varint(len(strings)))
+    for s in strings:
+        raw = s.encode()
+        table += varint(len(raw)) + raw
+
+    def ref(s: str) -> bytes:
+        return b"\x09" + varint(strings.index(s))
+
+    def enc_int(n: int) -> bytes:
+        z = (n << 1) if n >= 0 else ((-n) << 1) - 1
+        return b"\x03" + varint(z)
+
+    value = bytearray()
+    value += b"\x08" + bytes([7])  # dict with 7 entries
+    value += ref("kind") + ref("task_end")
+    value += ref("workflow_id") + enc_int(1)
+    value += ref("task_id") + enc_int(7)
+    value += ref("time") + b"\x04" + struct.pack("<d", 2.5)
+    value += ref("status") + ref("finished")
+    value += ref("dependencies") + b"\x07\x00"  # empty list
+    value += ref("data") + b"\x07\x00"
+    body = varint(len(table)) + bytes(table) + bytes(value)
+    return b"PL" + bytes([2, 0]) + body
+
+
 def test_hand_encoded_payload_decodes():
     assert decode_payload(hand_encoded_record()) == EXPECTED
 
 
 def test_hand_encoded_matches_python_encoder():
-    # both encoders are canonical for the same key order
-    assert hand_encoded_record() == encode_payload(EXPECTED, compress=False)
+    # both encoders are canonical for the same key order (v1 frame)
+    assert hand_encoded_record() == encode_payload(EXPECTED, compress=False, version=1)
+
+
+def test_hand_encoded_v2_payload_decodes():
+    assert decode_payload(hand_encoded_record_v2()) == EXPECTED
+
+
+def test_hand_encoded_v2_matches_python_encoder():
+    # the v2 encoder is canonical too: same table order (first use), same refs
+    assert hand_encoded_record_v2() == encode_payload(EXPECTED, compress=False)
+
+
+def test_v1_and_v2_frames_decode_identically():
+    assert decode_payload(hand_encoded_record()) == decode_payload(hand_encoded_record_v2())
 
 
 def test_hand_compressed_frame_decodes():

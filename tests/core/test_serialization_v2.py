@@ -1,0 +1,354 @@
+"""v2 wire format: interning, typed arrays, cross-version compatibility.
+
+The v1 round-trip/framing suite lives in ``test_serialization.py``; this
+file covers what the v2 format adds — the string table, the typed-array
+tags, the adaptive compression gate and version negotiation — plus the
+edge cases called out in the hot-path issue: varint boundaries, deep
+nesting, truncated string-table frames, non-str dict keys.
+"""
+
+import zlib
+
+import pytest
+
+from repro.core import CodecError, decode_payload, encode_payload
+from repro.core import serialization as ser
+
+
+RECORD = {
+    "kind": "task_end", "workflow_id": 1, "task_id": "3-42",
+    "transformation_id": 3, "dependencies": ["3-41"], "time": 21.5,
+    "status": "finished",
+    "data": [{"id": "out42", "workflow_id": 1, "derivations": ["in42"],
+              "attributes": {"out": [2] * 10}}],
+}
+
+
+# -- version negotiation ------------------------------------------------------
+
+
+def test_default_version_is_2():
+    assert encode_payload({"a": 1})[2] == 2
+    assert ser.VERSION == ser.VERSION_2 == 2
+
+
+def test_v1_frames_still_decode():
+    # explicit cross-version guarantee: old captures and v1-only clients
+    wire = encode_payload(RECORD, version=1)
+    assert wire[2] == 1
+    assert decode_payload(wire) == RECORD
+
+
+@pytest.mark.parametrize("version", [1, 2])
+@pytest.mark.parametrize("compress", [True, False])
+def test_cross_version_roundtrip(version, compress):
+    wire = encode_payload(RECORD, version=version, compress=compress)
+    assert decode_payload(wire) == RECORD
+
+
+def test_both_versions_decode_to_identical_values():
+    for value in (RECORD, [RECORD] * 7, {"x": [1.5] * 40}, [], {}, "s", 0):
+        v1 = decode_payload(encode_payload(value, version=1))
+        v2 = decode_payload(encode_payload(value, version=2))
+        assert v1 == v2 == value
+
+
+def test_unknown_encode_version_rejected():
+    with pytest.raises(CodecError):
+        encode_payload({"a": 1}, version=3)
+
+
+def test_unknown_decode_version_rejected():
+    with pytest.raises(CodecError):
+        decode_payload(b"PL\x03\x00\x00")
+
+
+# -- string interning ---------------------------------------------------------
+
+
+def test_repeated_keys_are_interned():
+    # 50 records sharing field names: v2 stores each name once
+    group = [RECORD] * 50
+    v1 = encode_payload(group, version=1, compress=False)
+    v2 = encode_payload(group, version=2, compress=False)
+    assert len(v2) < len(v1) * 0.8  # the issue's >=20% grouped-size win
+    assert b"workflow_id" in bytes(v1)
+    assert bytes(v2).count(b"workflow_id") == 1
+
+
+def test_repeated_string_values_are_interned():
+    value = {"a": "repeated-value", "b": "repeated-value", "c": "repeated-value"}
+    wire = encode_payload(value, compress=False)
+    assert wire.count(b"repeated-value") == 1
+    assert decode_payload(wire) == value
+
+
+def test_string_ref_out_of_range_rejected():
+    # hand-build a v2 frame: empty table (1 byte: count=0), then a ref to 5
+    body = bytes([1, 0, ser.T_STRREF, 5])
+    with pytest.raises(CodecError):
+        decode_payload(b"PL\x02\x00" + body)
+
+
+def test_decoded_tables_are_shared_safely():
+    # two payloads with the same keys but different values: the memoized
+    # string table must not leak values between them
+    a = decode_payload(encode_payload({"k1": 1, "k2": "x"}))
+    b = decode_payload(encode_payload({"k1": 2, "k2": "y"}))
+    assert a == {"k1": 1, "k2": "x"}
+    assert b == {"k1": 2, "k2": "y"}
+
+
+# -- varint boundaries --------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [
+    0, 1, -1, 63, 64, 127, 128, 16383, 16384,
+    2**32, -(2**32), 2**62, 2**63 - 1, -(2**63),
+])
+def test_varint_boundary_roundtrip(n):
+    assert decode_payload(encode_payload(n, compress=False)) == n
+    assert decode_payload(encode_payload({"v": [n] * 5}, compress=False)) == {"v": [n] * 5}
+
+
+@pytest.mark.parametrize("n", [2**63, -(2**63) - 1, 2**100])
+def test_out_of_wire_range_ints_rejected(n):
+    # v1 silently emitted undecodable varints for these; v2 refuses
+    with pytest.raises(CodecError):
+        encode_payload(n)
+    with pytest.raises(CodecError):
+        encode_payload({"v": [n, n, n, n, n]})
+
+
+def test_decoder_rejects_varints_beyond_64_bits():
+    # a 10-octet varint can carry up to 70 bits; anything above u64 is
+    # outside the wire contract and must not decode to a Python long the
+    # encoder itself would refuse to re-emit
+    overlong = b"\xff" * 9 + b"\x7f"  # 70 bits, all ones
+    frame = b"PL\x02\x00" + bytes([1, 0, ser.T_INT]) + overlong
+    with pytest.raises(CodecError):
+        decode_payload(frame)
+    # the largest legal zigzag value (-2**63) still decodes
+    edge = encode_payload(-(2**63), compress=False)
+    assert decode_payload(edge) == -(2**63)
+
+
+def test_multibyte_length_strings_and_lists():
+    value = {
+        "long-string": "x" * 1000,
+        "long-list": ["item-%d" % i for i in range(300)],
+        "many-keys": {"key-%03d" % i: i for i in range(200)},
+    }
+    for compress in (True, False):
+        assert decode_payload(encode_payload(value, compress=compress)) == value
+
+
+# -- typed arrays -------------------------------------------------------------
+
+
+def test_u8_array_roundtrip_and_size():
+    value = {"samples": list(range(256))}
+    wire = encode_payload(value, compress=False)
+    assert decode_payload(wire) == value
+    # 256 octets + tags/lengths/table: far below v1's ~2 bytes/int
+    assert len(wire) < len(encode_payload(value, version=1, compress=False))
+
+
+def test_int_array_with_negatives_and_large_values():
+    value = {"deltas": [-5, 300, -70000, 2**40, -(2**40), 0, 255, 256]}
+    assert decode_payload(encode_payload(value, compress=False)) == value
+
+
+def test_f64_array_roundtrip_preserves_type():
+    value = {"readings": [1.5, -2.25, 0.0, 3.14159, 1e300]}
+    decoded = decode_payload(encode_payload(value, compress=False))
+    assert decoded == value
+    assert all(type(x) is float for x in decoded["readings"])
+
+
+def test_bool_lists_are_not_confused_with_ints():
+    value = {"flags": [True, False, True, False, True]}
+    decoded = decode_payload(encode_payload(value, compress=False))
+    assert decoded == value
+    assert all(type(x) is bool for x in decoded["flags"])
+
+
+def test_mixed_lists_fall_back_to_general_encoding():
+    value = {"mixed": [1, 2.0, "three", None, True, [4], {"five": 5}, b"six"]}
+    decoded = decode_payload(encode_payload(value, compress=False))
+    assert decoded == value
+    assert type(decoded["mixed"][0]) is int
+    assert type(decoded["mixed"][1]) is float
+
+
+def test_int_float_distinction_survives_roundtrip():
+    value = {"ints": [1, 2, 3, 4, 5], "floats": [1.0, 2.0, 3.0, 4.0, 5.0]}
+    decoded = decode_payload(encode_payload(value, compress=False))
+    assert all(type(x) is int for x in decoded["ints"])
+    assert all(type(x) is float for x in decoded["floats"])
+
+
+# -- deep nesting & odd shapes ------------------------------------------------
+
+
+def test_deeply_nested_structures():
+    value = {"deep": [[[[[{"level": [[[["bottom"]]]]}]]]]]}
+    for version in (1, 2):
+        assert decode_payload(encode_payload(value, version=version)) == value
+
+
+def test_nesting_100_levels():
+    value = "leaf"
+    for _ in range(100):
+        value = {"child": [value]}
+    for version in (1, 2):
+        assert decode_payload(encode_payload(value, version=version)) == value
+
+
+@pytest.mark.parametrize("key", [1, 2.5, None, True, (1, 2), b"k"])
+def test_non_str_dict_keys_rejected_both_versions(key):
+    for version in (1, 2):
+        with pytest.raises(CodecError):
+            encode_payload({key: "x"}, version=version)
+
+
+def test_tuples_encode_as_lists():
+    assert decode_payload(encode_payload({"t": (1, 2, 3, 4, 5)})) == {"t": [1, 2, 3, 4, 5]}
+
+
+# -- truncation & malformed frames -------------------------------------------
+
+
+def test_truncated_v2_string_table_rejected():
+    wire = encode_payload(RECORD, compress=False)
+    # cut inside the string table (which directly follows the header)
+    for cut in range(ser.HEADER_SIZE, min(len(wire), ser.HEADER_SIZE + 60)):
+        with pytest.raises(CodecError):
+            decode_payload(wire[:cut])
+
+
+def test_truncation_rejected_everywhere_v2():
+    wire = encode_payload(RECORD, compress=False)
+    for cut in range(1, len(wire)):
+        with pytest.raises(CodecError):
+            decode_payload(wire[:cut])
+
+
+def test_string_table_length_overrun_rejected():
+    # table claims more bytes than the frame holds
+    with pytest.raises(CodecError):
+        decode_payload(b"PL\x02\x00" + bytes([200, 1, 3]))
+
+
+def test_string_table_invalid_utf8_rejected():
+    # table: nbytes=3, count=1, len=1, invalid continuation byte
+    with pytest.raises(CodecError):
+        decode_payload(b"PL\x02\x00" + bytes([3, 1, 1, 0xFF]) + bytes([ser.T_STRREF, 0]))
+
+
+def test_truncated_typed_arrays_rejected():
+    for value in ({"u8": [7] * 50}, {"f64": [1.5] * 50}, {"iarr": [-1000] * 50}):
+        wire = encode_payload(value, compress=False)
+        for cut in range(ser.HEADER_SIZE + 1, len(wire)):
+            with pytest.raises(CodecError):
+                decode_payload(wire[:cut])
+
+
+# -- compression gate & framing ----------------------------------------------
+
+
+def test_small_payloads_skip_compression():
+    wire = encode_payload({"t": 1})
+    assert wire[3] & ser.FLAG_COMPRESSED == 0
+
+
+def test_large_redundant_payloads_still_compress():
+    wire = encode_payload({"in": [1] * 2000})
+    assert wire[3] & ser.FLAG_COMPRESSED
+    assert decode_payload(wire) == {"in": [1] * 2000}
+
+
+def test_compression_gate_threshold():
+    # bodies just under the gate are framed uncompressed even when zlib
+    # could shave a byte or two; at/above the gate the comparison runs
+    assert ser.MIN_COMPRESS_SIZE > 0
+    small_body_value = {"k": "v"}
+    assert encode_payload(small_body_value)[3] & ser.FLAG_COMPRESSED == 0
+
+
+def test_encrypted_and_compressed_v2_framing():
+    from repro.core import PayloadCipher, derive_key
+
+    cipher = PayloadCipher(derive_key("secret"))
+    big = {"data": [RECORD] * 20}
+    wire = encode_payload(big, cipher=cipher)
+    assert wire[2] == 2
+    assert wire[3] & ser.FLAG_ENCRYPTED
+    assert wire[3] & ser.FLAG_COMPRESSED  # compressed *then* encrypted
+    assert decode_payload(wire, cipher=cipher) == big
+    # without the key the payload is unreadable
+    with pytest.raises(CodecError):
+        decode_payload(wire)
+    with pytest.raises(CodecError):
+        decode_payload(wire, cipher=PayloadCipher(derive_key("wrong")))
+
+
+def test_encrypted_uncompressed_v2_framing():
+    from repro.core import PayloadCipher, derive_key
+
+    cipher = PayloadCipher(derive_key("secret"))
+    wire = encode_payload({"t": 1}, cipher=cipher)
+    assert wire[3] == ser.FLAG_ENCRYPTED
+    assert decode_payload(wire, cipher=cipher) == {"t": 1}
+
+
+def test_v2_compressed_body_is_zlib_of_table_plus_value():
+    wire = encode_payload(RECORD)
+    if wire[3] & ser.FLAG_COMPRESSED:
+        body = zlib.decompress(wire[ser.HEADER_SIZE:])
+    else:
+        body = wire[ser.HEADER_SIZE:]
+    uncompressed = encode_payload(RECORD, compress=False)
+    assert body == uncompressed[ser.HEADER_SIZE:]
+
+
+# -- property-based -----------------------------------------------------------
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=8)
+    | st.dictionaries(st.text(max_size=10), children, max_size=8),
+    max_leaves=40,
+)
+
+
+@given(json_like, st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_property_v2_payload_roundtrip(value, compress):
+    assert decode_payload(encode_payload(value, compress=compress)) == value
+
+
+@given(json_like)
+@settings(max_examples=100, deadline=None)
+def test_property_v1_v2_decode_agree(value):
+    assert decode_payload(encode_payload(value, version=1)) == decode_payload(
+        encode_payload(value, version=2)
+    )
+
+
+@given(st.binary(max_size=80))
+@settings(max_examples=200, deadline=None)
+def test_property_v2_decoder_never_crashes_uncontrolled(data):
+    try:
+        decode_payload(b"PL\x02\x00" + data)
+    except CodecError:
+        pass
