@@ -170,7 +170,10 @@ class CoapMessage:
             pos += length
             number += delta
             if number == OPT_URI_PATH:
-                uri_path.append(value.decode())
+                try:
+                    uri_path.append(value.decode())
+                except UnicodeDecodeError:
+                    raise CoapError("Uri-Path option is not valid UTF-8") from None
             elif number == OPT_CONTENT_FORMAT:
                 content_format = int.from_bytes(value, "big") if value else 0
             # unknown options: elective ones are skipped silently

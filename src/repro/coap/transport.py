@@ -66,9 +66,9 @@ class ProvLightCoapServer:
                 yield from device.cpu.run(io_busy_s=work, tag="translator")
             else:
                 yield self.env.timeout(work)
-            result = self.backend.ingest(translated)
-            if result is not None and hasattr(result, "send"):
-                yield from result
+            # uniform backend protocol: ingest() returns an iterable of
+            # simulation events (empty for synchronous backends)
+            yield from self.backend.ingest(translated)
             self.records_ingested.record(len(records))
 
 

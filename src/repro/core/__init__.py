@@ -3,7 +3,8 @@
 User-facing capture model (``Workflow``/``Task``/``Data`` per PROV-DM),
 binary serialization with compression, optional grouping of ended-task
 records, an asynchronous MQTT-SN capture client, and the server side
-(broker + parallel provenance translators with pluggable backends).
+(broker + a sharded pool of provenance translators with pluggable
+backends).
 """
 
 from .client import ProvLightClient
@@ -18,7 +19,13 @@ from .serialization import (
     encode_payload,
     encode_value,
 )
-from .server import CallableBackend, HttpBackend, ProvLightServer
+from .server import (
+    DEFAULT_TRANSLATOR_WORKERS,
+    CallableBackend,
+    HttpBackend,
+    ProvLightServer,
+    TranslatorPool,
+)
 from .translator import (
     TranslationError,
     Translator,
@@ -35,6 +42,8 @@ __all__ = [
     "count_attributes",
     "ProvLightClient",
     "ProvLightServer",
+    "TranslatorPool",
+    "DEFAULT_TRANSLATOR_WORKERS",
     "CallableBackend",
     "HttpBackend",
     "GroupBuffer",

@@ -186,8 +186,14 @@ def _encode_into(out: bytearray, value: Any) -> None:
     elif value is False:
         out.append(T_FALSE)
     elif isinstance(value, int):
+        z = _zigzag(value)
+        if z > _U64_MAX:
+            # the decoder (and any C implementation of the wire contract)
+            # reads u64 varints; emitting more would produce undecodable
+            # bytes, so fail at encode time like the v2 path does
+            raise CodecError(f"integer {value} exceeds the 64-bit wire range")
         out.append(T_INT)
-        _write_uvarint(out, _zigzag(value))
+        _write_uvarint(out, z)
     elif isinstance(value, float):
         out.append(T_FLOAT)
         out.extend(struct.pack("<d", value))
@@ -416,6 +422,8 @@ _SCRATCH_POOL_MAX = 4
 #: clear)
 _UTF8_CACHE: dict = {}
 _UTF8_CACHE_MAX = 4096
+#: entries above this many encoded bytes are not cached (one-off blobs)
+_UTF8_CACHE_ENTRY_MAX = 4096
 
 
 def _table_entry_bytes(entry: str) -> bytes:
@@ -447,9 +455,13 @@ def _encode_body_v2(value: Any) -> bytearray:
             prefixed = cache_get(entry)
             if prefixed is None:
                 prefixed = _table_entry_bytes(entry)
-                if len(_UTF8_CACHE) >= _UTF8_CACHE_MAX:
-                    _UTF8_CACHE.clear()
-                _UTF8_CACHE[entry] = prefixed
+                # mirror the decode-side _TABLE_CACHE_ENTRY_MAX guard:
+                # a one-off huge string must not pin megabytes in the
+                # module-level cache until the wholesale clear
+                if len(prefixed) <= _UTF8_CACHE_ENTRY_MAX:
+                    if len(_UTF8_CACHE) >= _UTF8_CACHE_MAX:
+                        _UTF8_CACHE.clear()
+                    _UTF8_CACHE[entry] = prefixed
             head += prefixed
         out = bytearray()
         append = out.append

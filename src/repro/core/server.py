@@ -1,16 +1,31 @@
-"""The ProvLight server: MQTT-SN broker + parallel provenance translators.
+"""The ProvLight server: MQTT-SN broker + sharded provenance translators.
 
 Mirrors the paper's Fig. 3/Fig. 5 deployment: an RSMB-style broker
-receives the devices' publishes; one translator per topic subscribes,
-decodes/decompresses the payloads, translates them (default: to the
-DfAnalyzer model) and hands them to a backend — either an in-process
-store or an HTTP endpoint of a provenance system.
+receives the devices' publishes; translators subscribe, decode/decompress
+the payloads, translate them (default: to the DfAnalyzer model) and hand
+them to a backend — either an in-process store or an HTTP endpoint of a
+provenance system.
+
+Instead of the paper prototype's one-process-per-topic layout, the server
+runs a fixed-size :class:`TranslatorPool`: topics are sharded across K
+workers by consistent hashing on the topic name, each worker owning
+one MQTT-SN subscriber client and draining its inbox in batches.  A
+thousand device topics therefore cost K subscriber clients, not a
+thousand.  :meth:`ProvLightServer.add_translator` is kept as the
+compatibility entry point: it attaches one topic filter to the pool.
+
+Backends follow a uniform generator protocol: ``ingest(translated)``
+returns an iterable of simulation events.  Synchronous backends deliver
+inline and return no events; network backends return a generator that
+yields the I/O events of the request.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, List, Optional
+from bisect import bisect_right
+from typing import Any, Callable, Iterable, List, Tuple
+from zlib import crc32
 
 from ..calibration import SERVER_COSTS, ServerCosts
 from ..http import HttpSession
@@ -19,7 +34,16 @@ from ..net import Endpoint, Host
 from ..simkernel import Counter, Store
 from .translator import Translator
 
-__all__ = ["ProvLightServer", "CallableBackend", "HttpBackend"]
+__all__ = [
+    "ProvLightServer",
+    "TranslatorPool",
+    "CallableBackend",
+    "HttpBackend",
+    "DEFAULT_TRANSLATOR_WORKERS",
+]
+
+#: paper Table IX reproduces with 8 workers serving 64 device topics
+DEFAULT_TRANSLATOR_WORKERS = 8
 
 
 class CallableBackend:
@@ -29,11 +53,11 @@ class CallableBackend:
         self.fn = fn
         self.delivered = Counter("backend-delivered")
 
-    def ingest(self, translated: Any):
+    def ingest(self, translated: Any) -> Iterable:
+        """Deliver inline; no simulation events to wait on."""
         self.fn(translated)
         self.delivered.record()
-        return None
-        yield  # pragma: no cover - generator protocol compatibility
+        return ()
 
 
 class HttpBackend:
@@ -55,52 +79,154 @@ class HttpBackend:
         self.delivered.record()
 
 
-class _TopicTranslator:
-    """One translator worker: subscribes to a topic, processes payloads."""
+class _TranslatorWorker:
+    """One pool worker: a subscriber client plus a batched work loop."""
 
-    def __init__(self, server: "ProvLightServer", topic_filter: str, index: int):
+    def __init__(self, server: "ProvLightServer", index: int, max_batch: int):
         self.server = server
-        self.topic_filter = topic_filter
+        self.index = index
+        self.max_batch = max(1, max_batch)
         self.env = server.env
         self.client = MqttSnClient(
             server.host,
             f"translator-{index}",
             (server.host.name, server.port),
         )
+        self.topic_filters: List[str] = []
         self._inbox: Store = Store(self.env)
+        self._connected = False
+        self._connect_gate = None
         self.env.process(self._work_loop(), name=f"translator-{index}")
 
-    def start(self):
-        yield from self.client.connect()
+    def attach(self, topic_filter: str):
+        """Generator: subscribe this worker to ``topic_filter``."""
+        yield from self._ensure_connected()
         yield from self.client.subscribe(
-            self.topic_filter, lambda topic, payload: self._inbox.put((topic, payload))
+            topic_filter, lambda topic, payload: self._inbox.put((topic, payload))
         )
+        self.topic_filters.append(topic_filter)
+        return self
+
+    def _ensure_connected(self):
+        """Generator: connect the subscriber client exactly once, even when
+        several attachments race on a cold worker.
+
+        A failed connect is propagated to every waiter and the gate is
+        reset first, so a later attach can retry instead of blocking on
+        an event that can never trigger."""
+        while not self._connected:
+            if self._connect_gate is not None:
+                yield self._connect_gate
+                continue  # re-check: the connecting attach may have failed
+            gate = self._connect_gate = self.env.event()
+            try:
+                yield from self.client.connect()
+            except BaseException as exc:
+                self._connect_gate = None
+                gate.defused = True  # waiters may not exist; don't crash the sim
+                gate.fail(exc)
+                raise
+            self._connected = True
+            gate.succeed()
+
+    @property
+    def queued(self) -> int:
+        """Payloads waiting in this worker's inbox."""
+        return len(self._inbox.items)
 
     def _work_loop(self):
-        costs = self.server.costs
-        device = self.server.host.device
+        server = self.server
         while True:
-            topic, payload = yield self._inbox.get()
-            try:
-                records, translated = self.server.translator.translate_payload(payload)
-            except Exception:
-                self.server.translate_errors.record()
+            batch = [(yield self._inbox.get())]
+            if self.max_batch > 1:
+                batch.extend(self._inbox.drain_pending(self.max_batch - 1))
+            costs = server.costs
+            work = 0.0
+            translated_batch: List[Tuple[list, Any]] = []
+            for _topic, payload in batch:
+                try:
+                    records, translated = server.translator.translate_payload(payload)
+                except Exception:
+                    server.translate_errors.record()
+                    continue
+                work += costs.translate_per_message_s
+                if len(records) > 1:
+                    work += costs.translate_group_fixed_s
+                translated_batch.append((records, translated))
+            if not translated_batch:
                 continue
-            work = costs.translate_per_message_s
-            if len(records) > 1:
-                work += costs.translate_group_fixed_s
+            # one CPU grant covers the whole drained batch: same simulated
+            # work as per-message servicing, far fewer scheduler wakeups
+            device = server.host.device
             if device is not None:
                 yield from device.cpu.run(io_busy_s=work, tag="translator")
             else:
                 yield self.env.timeout(work)
-            result = self.server.backend.ingest(translated)
-            if result is not None and hasattr(result, "send"):
-                yield from result
-            self.server.records_ingested.record(len(records))
+            for records, translated in translated_batch:
+                yield from server.backend.ingest(translated)
+                server.records_ingested.record(len(records))
+
+    def __repr__(self) -> str:
+        return (
+            f"<TranslatorWorker {self.index} filters={len(self.topic_filters)} "
+            f"queued={self.queued}>"
+        )
+
+
+class TranslatorPool:
+    """Fixed-size worker pool sharding topics by consistent hashing.
+
+    The hash ring carries ``replicas`` virtual points per worker, so
+    adding topics spreads evenly and the worker serving a topic is a pure
+    function of the topic name — no rebalancing state, no registry
+    side effects, and the same layout regardless of the order topics
+    are attached in (broker topic ids are sequential, so hashing on
+    them would be order-dependent).
+    """
+
+    def __init__(self, server: "ProvLightServer", size: int, *,
+                 replicas: int = 32, max_batch: int = 32):
+        if size <= 0:
+            raise ValueError("translator pool needs at least one worker")
+        self.server = server
+        self.workers = [
+            _TranslatorWorker(server, i + 1, max_batch) for i in range(size)
+        ]
+        points: List[Tuple[int, int]] = []
+        for i in range(size):
+            points.extend(
+                (crc32(f"worker-{i}#{v}".encode()), i) for v in range(replicas)
+            )
+        points.sort()
+        self._ring_points = [p for p, _ in points]
+        self._ring_workers = [w for _, w in points]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def worker_for(self, topic_filter: str) -> _TranslatorWorker:
+        """The worker a topic shards to (stable, side-effect free)."""
+        point = crc32(topic_filter.encode())
+        idx = bisect_right(self._ring_points, point) % len(self._ring_points)
+        return self.workers[self._ring_workers[idx]]
+
+    def attach(self, topic_filter: str):
+        """Generator: route ``topic_filter`` to its shard and subscribe."""
+        worker = self.worker_for(topic_filter)
+        yield from worker.attach(topic_filter)
+        return worker
+
+    @property
+    def queued(self) -> int:
+        """Total payloads waiting across all worker inboxes."""
+        return sum(worker.queued for worker in self.workers)
+
+    def __repr__(self) -> str:
+        return f"<TranslatorPool workers={len(self.workers)} queued={self.queued}>"
 
 
 class ProvLightServer:
-    """Broker + translator pool on one (cloud) host."""
+    """Broker + sharded translator pool on one (cloud) host."""
 
     def __init__(
         self,
@@ -110,6 +236,7 @@ class ProvLightServer:
         target: str = "dfanalyzer",
         costs: ServerCosts = SERVER_COSTS,
         cipher=None,
+        workers: int = DEFAULT_TRANSLATOR_WORKERS,
     ):
         self.host = host
         self.env = host.env
@@ -117,19 +244,29 @@ class ProvLightServer:
         self.backend = backend
         self.costs = costs
         self.translator = Translator(target, cipher=cipher)
-        self.broker = MqttSnBroker(host, port, service_time_s=costs.broker_per_packet_s)
-        self.translators: List[_TopicTranslator] = []
+        self.broker = MqttSnBroker(
+            host, port,
+            service_time_s=costs.broker_per_packet_s,
+            batch_fixed_s=costs.broker_batch_fixed_s,
+        )
+        self.pool = TranslatorPool(self, workers)
+        #: one entry per attached topic filter (compatibility with the
+        #: seed's translator-per-topic bookkeeping): the worker shard
+        #: each ``add_translator`` call landed on.
+        self.translators: List[_TranslatorWorker] = []
         self.records_ingested = Counter("records-ingested")
         self.translate_errors = Counter("translate-errors")
 
     def add_translator(self, topic_filter: str):
-        """Generator: spawn a translator subscribed to ``topic_filter``.
+        """Generator: attach ``topic_filter`` to the translator pool.
 
-        Call once per device topic to parallelize translation, exactly as
-        the paper's scalability experiment does (translator-1..64)."""
-        worker = _TopicTranslator(self, topic_filter, len(self.translators) + 1)
+        Compatibility shim for the paper's one-translator-per-topic
+        deployment scripts: call once per device topic, exactly as the
+        scalability experiment does (translator-1..64).  Topics shard
+        onto the pool's fixed workers instead of spawning new processes.
+        """
+        worker = yield from self.pool.attach(topic_filter)
         self.translators.append(worker)
-        yield from worker.start()
         return worker
 
     @property
@@ -140,5 +277,5 @@ class ProvLightServer:
     def __repr__(self) -> str:
         return (
             f"<ProvLightServer {self.host.name}:{self.port} "
-            f"translators={len(self.translators)}>"
+            f"workers={len(self.pool)} topics={len(self.translators)}>"
         )

@@ -149,7 +149,12 @@ def _looks_like_inline_mapping(text: str) -> bool:
         # quoted scalars and explicit flow/anchor constructs are handled
         # (or rejected) by the scalar parser
         return False
-    first = _split_top_level(text)[0]
+    parts = _split_top_level(text)
+    if not parts:
+        # only separators (e.g. ","): not a mapping, let the scalar
+        # parser deal with it
+        return False
+    first = parts[0]
     quote = None
     for i, ch in enumerate(first):
         if quote:

@@ -6,8 +6,9 @@ deploys, on a cloud host:
 * the ProvLight server (MQTT-SN broker + provenance data translators),
 * the DfAnalyzer storage/query service as backend,
 
-and hands out ProvLight capture clients for edge devices — one topic and
-one translator per device, as in the paper's Fig. 5.  The manager also
+and hands out ProvLight capture clients for edge devices — one topic per
+device as in the paper's Fig. 5, sharded across the server's fixed-size
+translator worker pool.  The manager also
 exposes the DfAnalyzer query interface so users can analyze captured
 provenance at workflow runtime.
 """
@@ -16,7 +17,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..core import CallableBackend, ProvLightClient, ProvLightServer
+from ..core import (
+    DEFAULT_TRANSLATOR_WORKERS,
+    CallableBackend,
+    ProvLightClient,
+    ProvLightServer,
+)
 from ..device import Device, XEON_GOLD_5220
 from ..dfanalyzer import DfAnalyzerService
 from ..net import Network
@@ -38,6 +44,7 @@ class ProvenanceManager:
         group_size: int = 0,
         compress: bool = True,
         host_name: Optional[str] = None,
+        translator_workers: int = DEFAULT_TRANSLATOR_WORKERS,
     ):
         self.network = network
         self.env: Environment = network.env
@@ -53,7 +60,8 @@ class ProvenanceManager:
             host = network.add_host(host_name, device=device)
         self.host = host
         self.server = ProvLightServer(
-            host, CallableBackend(self.service.ingest), target=target
+            host, CallableBackend(self.service.ingest), target=target,
+            workers=translator_workers,
         )
         self.clients: Dict[str, ProvLightClient] = {}
 
@@ -67,7 +75,7 @@ class ProvenanceManager:
         topic = topic or f"provlight/{device.name}/data"
         if topic in self.clients:
             raise ValueError(f"topic {topic!r} already has a capture client")
-        yield from self.server.add_translator(topic)
+        yield from self.server.add_translator(topic)  # shards onto the pool
         client = ProvLightClient(
             device,
             self.server.endpoint,

@@ -14,7 +14,12 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..baselines import DfAnalyzerCaptureClient, NullCaptureClient, ProvLakeClient
-from ..core import CallableBackend, ProvLightClient, ProvLightServer
+from ..core import (
+    DEFAULT_TRANSLATOR_WORKERS,
+    CallableBackend,
+    ProvLightClient,
+    ProvLightServer,
+)
 from ..device import A8M3, XEON_GOLD_5220, Device, DeviceSpec
 from ..dfanalyzer import DfAnalyzerService
 from ..http import HttpResponse, HttpServer
@@ -51,8 +56,11 @@ class ExperimentSetup:
     device_spec: DeviceSpec = A8M3
     compress: bool = True
     qos: int = 2
-    #: attach one translator per device topic (paper Fig. 5)
+    #: attach each device topic to the server's translator pool (paper Fig. 5)
     with_translators: bool = True
+    #: size of the sharded translator pool on the server (paper Table IX:
+    #: 8 workers absorb 64 device topics)
+    translator_workers: int = DEFAULT_TRANSLATOR_WORKERS
 
     def describe(self) -> str:
         parts = [self.system, self.bandwidth, f"delay={self.delay}"]
@@ -125,7 +133,8 @@ def run_capture_experiment(
     server: Optional[ProvLightServer] = None
     if setup.system == "provlight":
         server = ProvLightServer(
-            net.hosts["cloud"], CallableBackend(backend_service.ingest)
+            net.hosts["cloud"], CallableBackend(backend_service.ingest),
+            workers=setup.translator_workers,
         )
         for i, device in enumerate(devices):
             clients.append(

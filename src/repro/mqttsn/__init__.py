@@ -29,7 +29,7 @@ from .packets import (
     decode,
     encode,
 )
-from .topics import TopicRegistry, topic_matches, validate_filter
+from .topics import SubscriptionIndex, TopicRegistry, topic_matches, validate_filter
 
 __all__ = [
     "packets",
@@ -39,6 +39,7 @@ __all__ = [
     "MqttSnTimeout",
     "MessageHandler",
     "TopicRegistry",
+    "SubscriptionIndex",
     "topic_matches",
     "validate_filter",
     "MqttSnMessage",

@@ -1,12 +1,22 @@
 """MQTT-SN broker in the style of Eclipse RSMB (Really Small Message
 Broker), which the paper's ProvLight server embeds.
 
-Single receive loop over one UDP port; per-datagram service time models
-the broker's (small) processing cost and creates realistic queueing when
-64 devices publish concurrently (paper Table IX).  QoS 2 is honoured in
-both roles: as receiver from publishers (PUBREC/PUBREL/PUBCOMP with
-duplicate suppression) and as sender towards subscribers (retransmission
-with DUP until PUBREC, then PUBREL until PUBCOMP).
+Single receive loop over one UDP port.  Each wakeup drains *every*
+datagram already queued on the socket and charges one batched service
+time (``broker_batch_fixed_s`` amortized over the batch plus
+``broker_per_packet_s`` per datagram), which models an epoll-style server
+and creates realistic queueing when 64 devices publish concurrently
+(paper Table IX).  Routing uses an incrementally-maintained
+:class:`~repro.mqttsn.topics.SubscriptionIndex` (exact hash map +
+wildcard trie), so forwarding one PUBLISH costs O(topic segments)
+regardless of session count; deliveries produced within a batch are
+coalesced per subscriber so one wakeup emits grouped PUBLISHes under a
+single retry timer instead of N interleaved send/retry cycles.
+
+QoS 2 is honoured in both roles: as receiver from publishers
+(PUBREC/PUBREL/PUBCOMP with duplicate suppression) and as sender towards
+subscribers (retransmission with DUP until PUBREC, then PUBREL until
+PUBCOMP).
 """
 
 from __future__ import annotations
@@ -19,7 +29,7 @@ from ..calibration import SERVER_COSTS
 from ..net import Endpoint, Host
 from ..simkernel import Counter
 from . import packets as pkt
-from .topics import TopicRegistry, topic_matches, validate_filter
+from .topics import SubscriptionIndex, TopicRegistry
 
 __all__ = ["MqttSnBroker", "DEFAULT_BROKER_PORT"]
 
@@ -32,7 +42,6 @@ class _Session:
 
     endpoint: Endpoint
     client_id: str
-    subscriptions: List[Tuple[str, int]] = field(default_factory=list)  # (filter, qos)
     inbound_qos2: Set[int] = field(default_factory=set)
     #: topic ids this client can resolve (REGACKed or learned via its own
     #: REGISTER/SUBSCRIBE); others need a broker-side REGISTER first.
@@ -59,6 +68,8 @@ class MqttSnBroker:
         host: Host,
         port: int = DEFAULT_BROKER_PORT,
         service_time_s: float = SERVER_COSTS.broker_per_packet_s,
+        batch_fixed_s: float = SERVER_COSTS.broker_batch_fixed_s,
+        max_batch: int = 64,
         retry_interval_s: float = 1.0,
         max_retries: int = 5,
     ):
@@ -66,28 +77,50 @@ class MqttSnBroker:
         self.env = host.env
         self.port = port
         self.service_time_s = service_time_s
+        self.batch_fixed_s = batch_fixed_s
+        self.max_batch = max(1, max_batch)
         self.retry_interval_s = retry_interval_s
         self.max_retries = max_retries
 
         self.sock = host.udp_socket(port)
         self.topics = TopicRegistry()
         self.sessions: Dict[Endpoint, _Session] = {}
+        self.subscriptions = SubscriptionIndex()
         self._outbound: Dict[Tuple[Endpoint, int], _OutboundQos2] = {}
+        #: deliveries coalesced within the current service batch, grouped
+        #: by the session that held the matching subscription (keyed by
+        #: object identity — sessions replaced by a same-batch re-CONNECT
+        #: keep their own group).  Flushing delivers every group with its
+        #: own session's state, which matches the seed's dispatch-time
+        #: delivery: the subscription was live when the PUBLISH arrived,
+        #: so a later DISCONNECT in the same batch does not unsend it.
+        self._batch_deliveries: Dict[
+            int, Tuple[_Session, List[Tuple[str, pkt.Publish, int]]]
+        ] = {}
         self.forwarded = Counter("forwarded-publishes")
         self.dropped_no_session = Counter("dropped-no-session")
+        self.delivery_failures = Counter("delivery-failures")
+        self.serviced_batches = Counter("serviced-batches")
         self.env.process(self._recv_loop(), name=f"mqttsn-broker-{host.name}:{port}")
 
     # ------------------------------------------------------------------ loop
     def _recv_loop(self):
         while True:
-            data, source = yield self.sock.recv()
-            if self.service_time_s > 0:
-                yield self.env.timeout(self.service_time_s)
-            try:
-                message = pkt.decode(data)
-            except pkt.MalformedPacket:
-                continue
-            self._dispatch(message, source)
+            batch = [(yield self.sock.recv())]
+            if self.max_batch > 1:
+                batch.extend(self.sock.recv_pending(self.max_batch - 1))
+            service = self.batch_fixed_s + self.service_time_s * len(batch)
+            if service > 0:
+                yield self.env.timeout(service)
+            self.serviced_batches.record(len(batch))
+            for data, source in batch:
+                try:
+                    message = pkt.decode(data)
+                except pkt.MalformedPacket:
+                    continue
+                self._dispatch(message, source)
+            if self._batch_deliveries:
+                self._flush_deliveries()
 
     def _send(self, message: pkt.MqttSnMessage, dest: Endpoint) -> None:
         self.sock.sendto(message.encode(), dest)
@@ -95,6 +128,9 @@ class MqttSnBroker:
     # ------------------------------------------------------------- dispatch
     def _dispatch(self, message: pkt.MqttSnMessage, source: Endpoint) -> None:
         if isinstance(message, pkt.Connect):
+            # a fresh CONNECT replaces any previous session state,
+            # including its subscriptions in the routing index
+            self.subscriptions.remove(source)
             self.sessions[source] = _Session(endpoint=source, client_id=message.client_id)
             self._send(pkt.Connack(return_code=pkt.RC_ACCEPTED), source)
             return
@@ -132,7 +168,8 @@ class MqttSnBroker:
 
         if isinstance(message, pkt.Subscribe):
             try:
-                validate_filter(message.topic_name)
+                # add() validates the filter; one parse, one rejection path
+                self.subscriptions.add(source, message.topic_name, message.qos)
             except ValueError:
                 self._send(
                     pkt.Suback(
@@ -142,7 +179,6 @@ class MqttSnBroker:
                     source,
                 )
                 return
-            session.subscriptions.append((message.topic_name, message.qos))
             topic_id = 0
             if "+" not in message.topic_name and "#" not in message.topic_name:
                 topic_id = self.topics.register(message.topic_name)
@@ -183,6 +219,7 @@ class MqttSnBroker:
 
         if isinstance(message, pkt.Disconnect):
             self._send(pkt.Disconnect(), source)
+            self.subscriptions.remove(source)
             self.sessions.pop(source, None)
             return
 
@@ -205,17 +242,54 @@ class MqttSnBroker:
         self._forward(topic_name, message)
 
     def _forward(self, topic_name: str, message: pkt.Publish) -> None:
-        for session in list(self.sessions.values()):
-            for pattern, sub_qos in session.subscriptions:
-                if topic_matches(pattern, topic_name):
-                    self._deliver(session, topic_name, message, min(message.qos, sub_qos))
-                    break  # one delivery per client even with overlapping subs
+        """Route one PUBLISH through the subscription index.
+
+        Deliveries are only *staged* here; the receive loop flushes them
+        grouped per subscriber once the whole batch has been dispatched.
+        """
+        staged = self._batch_deliveries
+        for endpoint, sub_qos in self.subscriptions.match(topic_name):
+            session = self.sessions.get(endpoint)
+            if session is None:
+                continue
+            entry = staged.get(id(session))
+            if entry is None:
+                entry = (session, [])
+                staged[id(session)] = entry
+            entry[1].append((topic_name, message, min(message.qos, sub_qos)))
+
+    def _flush_deliveries(self) -> None:
+        """Emit the batch's staged deliveries, grouped per subscriber."""
+        staged = self._batch_deliveries
+        self._batch_deliveries = {}
+        for session, deliveries in staged.values():
+            tracked: List[int] = []
+            registered: Set[int] = set()
+            for topic_name, message, qos in deliveries:
+                msg_id = self._deliver(session, topic_name, message, qos, registered)
+                if msg_id:
+                    tracked.append(msg_id)
+            if tracked:
+                # one retry timer covers the whole coalesced group
+                self.env.process(self._retry_outbound(session.endpoint, tracked, 0))
 
     def _deliver(
-        self, session: _Session, topic_name: str, message: pkt.Publish, qos: int
-    ) -> None:
+        self,
+        session: _Session,
+        topic_name: str,
+        message: pkt.Publish,
+        qos: int,
+        registered: Set[int],
+    ) -> int:
+        """Send one PUBLISH towards ``session``; returns the msg id the
+        grouped retry timer must track (0 for QoS 0).
+
+        ``registered`` collects the topic ids already REGISTERed within
+        the current flush group — the REGACK cannot arrive mid-flush, so
+        one REGISTER per unresolved topic per group is enough."""
         topic_id = self.topics.register(topic_name)
-        if topic_id not in session.known_topic_ids:
+        if topic_id not in session.known_topic_ids and topic_id not in registered:
+            registered.add(topic_id)
             # Wildcard subscribers cannot resolve this topic id yet: send a
             # broker-initiated REGISTER (spec §6.10) ahead of the PUBLISH.
             # Repeated until the client REGACKs, so a lost REGISTER only
@@ -237,22 +311,27 @@ class MqttSnBroker:
         if qos > 0:
             out = _OutboundQos2(out_message, session.endpoint)
             self._outbound[(session.endpoint, msg_id)] = out
-            self.env.process(self._retry_outbound(session.endpoint, msg_id, 0))
+        return msg_id
 
-    def _retry_outbound(self, dest: Endpoint, msg_id: int, attempt: int):
+    def _retry_outbound(self, dest: Endpoint, msg_ids: List[int], attempt: int):
+        """Retry timer for one coalesced delivery group towards ``dest``."""
         yield self.env.timeout(self.retry_interval_s)
-        out = self._outbound.get((dest, msg_id))
-        if out is None:
+        outstanding = [m for m in msg_ids if (dest, m) in self._outbound]
+        if not outstanding:
             return
         if attempt >= self.max_retries:
-            del self._outbound[(dest, msg_id)]
-            return  # subscriber unreachable: give up (logged via counter)
-        if out.state == "pubrel":
-            self._send(pkt.Pubrel(msg_id=msg_id), dest)
-        else:
-            out.message.dup = True
-            self._send(out.message, dest)
-        self.env.process(self._retry_outbound(dest, msg_id, attempt + 1))
+            for msg_id in outstanding:
+                del self._outbound[(dest, msg_id)]
+                self.delivery_failures.record()
+            return  # subscriber unreachable: give up, counted above
+        for msg_id in outstanding:
+            out = self._outbound[(dest, msg_id)]
+            if out.state == "pubrel":
+                self._send(pkt.Pubrel(msg_id=msg_id), dest)
+            else:
+                out.message.dup = True
+                self._send(out.message, dest)
+        self.env.process(self._retry_outbound(dest, outstanding, attempt + 1))
 
     def __repr__(self) -> str:
         return f"<MqttSnBroker {self.host.name}:{self.port} sessions={len(self.sessions)}>"

@@ -70,7 +70,11 @@ class MqttSnClient:
         self._ping_event = None
         self._inbound_qos2: set = set()
         self._topic_names: Dict[int, str] = {}
-        self._subscriptions: List[Tuple[str, MessageHandler]] = []
+        #: wildcard-free filters dispatch by dict lookup; only filters
+        #: with +/# pay a topic_matches scan per inbound PUBLISH (a pool
+        #: worker holding hundreds of exact device topics stays O(1))
+        self._exact_handlers: Dict[str, List[MessageHandler]] = {}
+        self._wildcard_subs: List[Tuple[str, MessageHandler]] = []
         self.published_count = 0
         self.received_count = 0
         self.env.process(self._recv_loop(), name=f"mqttsn-client-{client_id}")
@@ -111,7 +115,10 @@ class MqttSnClient:
         suback = yield from self._tracked_exchange("subscribe", msg_id, message)
         if suback.topic_id:
             self._topic_names[suback.topic_id] = topic_filter
-        self._subscriptions.append((topic_filter, handler))
+        if "+" in topic_filter or "#" in topic_filter:
+            self._wildcard_subs.append((topic_filter, handler))
+        else:
+            self._exact_handlers.setdefault(topic_filter, []).append(handler)
         return suback.topic_id
 
     def publish(self, topic_id: int, payload: bytes, qos: int = 2):
@@ -260,7 +267,9 @@ class MqttSnClient:
             self._inbound_qos2.add(message.msg_id)
         topic = self._topic_names.get(message.topic_id, f"?{message.topic_id}")
         self.received_count += 1
-        for pattern, handler in self._subscriptions:
+        for handler in self._exact_handlers.get(topic, ()):
+            handler(topic, message.payload)
+        for pattern, handler in self._wildcard_subs:
             if topic_matches(pattern, topic):
                 handler(topic, message.payload)
 

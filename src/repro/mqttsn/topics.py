@@ -1,15 +1,25 @@
-"""Topic registry and MQTT-style topic matching.
+"""Topic registry, MQTT-style topic matching and the subscription index.
 
 The broker assigns 16-bit topic ids to topic names (MQTT-SN REGISTER) and
 matches published topics against subscription filters with the standard
 MQTT wildcards: ``+`` (one level) and ``#`` (any tail, last level only).
+
+:class:`SubscriptionIndex` is the broker's routing structure: an exact-topic
+hash map plus a segment trie for wildcard filters, maintained incrementally
+on SUBSCRIBE/DISCONNECT so that routing one PUBLISH costs O(topic segments)
+instead of O(sessions x subscriptions).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Hashable, List, Optional, Tuple
 
-__all__ = ["TopicRegistry", "topic_matches", "validate_filter"]
+__all__ = [
+    "TopicRegistry",
+    "SubscriptionIndex",
+    "topic_matches",
+    "validate_filter",
+]
 
 
 def validate_filter(pattern: str) -> None:
@@ -80,3 +90,138 @@ class TopicRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._by_name
+
+
+class _TrieNode:
+    """One level of the wildcard-filter trie.
+
+    ``children`` is keyed by the literal segment, ``"+"`` or ``"#"``;
+    ``subs`` holds the subscribers whose filter *ends* at this node, as
+    ``key -> (seq, qos)``.
+    """
+
+    __slots__ = ("children", "subs")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, _TrieNode] = {}
+        self.subs: Dict[Hashable, Tuple[int, int]] = {}
+
+
+class SubscriptionIndex:
+    """Incrementally-maintained subscription routing index.
+
+    Filters without wildcards live in a hash map (one lookup per PUBLISH);
+    wildcard filters live in a segment trie walked level by level.  Each
+    subscription is stamped with an insertion sequence number so
+    :meth:`match` can preserve the broker's first-subscription-wins QoS
+    semantics when one subscriber holds several overlapping filters.
+
+    Keys are opaque hashables identifying a subscriber (the broker uses
+    session endpoints).
+    """
+
+    def __init__(self) -> None:
+        self._exact: Dict[str, Dict[Hashable, Tuple[int, int]]] = {}
+        self._root = _TrieNode()
+        self._filters: Dict[Hashable, List[str]] = {}
+        self._seq = 0
+        self._wildcards = 0
+
+    def __len__(self) -> int:
+        """Number of live (key, filter) subscriptions."""
+        return sum(len(filters) for filters in self._filters.values())
+
+    def add(self, key: Hashable, pattern: str, qos: int = 0) -> None:
+        """Index ``pattern`` for subscriber ``key`` (validates the filter).
+
+        Re-adding a filter a key already holds is a no-op keeping the
+        original QoS — the broker delivers with the earliest matching
+        subscription, so the index mirrors that (and a client that
+        periodically re-SUBSCRIBEs must not grow broker state).
+        """
+        validate_filter(pattern)
+        filters = self._filters.setdefault(key, [])
+        if pattern in filters:
+            return
+        seq = self._seq
+        self._seq += 1
+        filters.append(pattern)
+        if "+" not in pattern and "#" not in pattern:
+            self._exact.setdefault(pattern, {})[key] = (seq, qos)
+            return
+        node = self._root
+        for segment in pattern.split("/"):
+            node = node.children.setdefault(segment, _TrieNode())
+        node.subs[key] = (seq, qos)
+        self._wildcards += 1
+
+    def remove(self, key: Hashable) -> None:
+        """Drop every subscription held by ``key`` (DISCONNECT path)."""
+        for pattern in self._filters.pop(key, ()):
+            if "+" not in pattern and "#" not in pattern:
+                bucket = self._exact.get(pattern)
+                if bucket is not None:
+                    bucket.pop(key, None)
+                    if not bucket:
+                        del self._exact[pattern]
+                continue
+            self._trie_remove(self._root, pattern.split("/"), 0, key)
+            self._wildcards -= 1
+
+    def _trie_remove(
+        self, node: _TrieNode, segments: List[str], depth: int, key: Hashable
+    ) -> bool:
+        """Remove ``key``'s filter below ``node``; True if node is prunable."""
+        if depth == len(segments):
+            node.subs.pop(key, None)
+        else:
+            child = node.children.get(segments[depth])
+            if child is not None and self._trie_remove(child, segments, depth + 1, key):
+                del node.children[segments[depth]]
+        return not node.subs and not node.children
+
+    def match(self, topic: str) -> List[Tuple[Hashable, int]]:
+        """Subscribers matching ``topic`` as ``[(key, qos), ...]``.
+
+        One entry per subscriber (earliest matching filter wins the QoS),
+        ordered by subscription age for deterministic delivery order.
+        """
+        best: Dict[Hashable, Tuple[int, int]] = {}
+        bucket = self._exact.get(topic)
+        if bucket:
+            best.update(bucket)
+        if self._wildcards:
+            hits: List[Tuple[Hashable, Tuple[int, int]]] = []
+            self._trie_match(self._root, topic.split("/"), 0, hits)
+            for key, entry in hits:
+                held = best.get(key)
+                if held is None or entry[0] < held[0]:
+                    best[key] = entry
+        if not best:
+            return []
+        ordered = sorted(best.items(), key=lambda item: item[1][0])
+        return [(key, entry[1]) for key, entry in ordered]
+
+    def _trie_match(
+        self,
+        node: _TrieNode,
+        segments: List[str],
+        depth: int,
+        hits: List[Tuple[Hashable, Tuple[int, int]]],
+    ) -> None:
+        children = node.children
+        # "#" swallows the remaining levels, including none at all (the
+        # MQTT rule that "a/#" also matches the parent topic "a").
+        tail = children.get("#")
+        if tail is not None and tail.subs:
+            hits.extend(tail.subs.items())
+        if depth == len(segments):
+            if node.subs:
+                hits.extend(node.subs.items())
+            return
+        child = children.get(segments[depth])
+        if child is not None:
+            self._trie_match(child, segments, depth + 1, hits)
+        plus = children.get("+")
+        if plus is not None:
+            self._trie_match(plus, segments, depth + 1, hits)

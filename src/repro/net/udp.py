@@ -49,6 +49,17 @@ class UdpSocket:
             raise RuntimeError("socket is closed")
         return self._inbox.get()
 
+    def recv_pending(self, limit: Optional[int] = None):
+        """Datagrams already buffered, as ``[(payload, source), ...]``.
+
+        Non-blocking: returns at most ``limit`` entries (all when None),
+        possibly none.  Lets a server drain every datagram that queued
+        while it was servicing the previous one — one wakeup, one batch.
+        """
+        if self.closed:
+            raise RuntimeError("socket is closed")
+        return self._inbox.drain_pending(limit)
+
     @property
     def pending(self) -> int:
         """Datagrams waiting in the receive buffer."""

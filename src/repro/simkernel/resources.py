@@ -271,6 +271,25 @@ class Store:
         """Pop the oldest item; blocks (as an event) while empty."""
         return _StoreGet(self)
 
+    def drain_pending(self, limit: Optional[int] = None) -> list:
+        """Pop up to ``limit`` immediately-available items without waiting.
+
+        Returns possibly-empty list; never blocks.  This is the batch
+        companion to :meth:`get`: a consumer wakes on one ``get`` and
+        drains whatever else queued up in the same instant.  Draining
+        frees capacity, so blocked putters are re-triggered.
+        """
+        if not self.items:
+            return []
+        if limit is None or limit >= len(self.items):
+            drained, self.items = self.items, []
+        else:
+            drained = self.items[:limit]
+            del self.items[:limit]
+        if self._put_waiters:
+            self._trigger()
+        return drained
+
     def _do_put(self, event: _StorePut) -> bool:
         if len(self.items) < self._capacity:
             self.items.append(event.item)
@@ -308,6 +327,27 @@ class FilterStore(Store):
 
     def get(self, filter: Callable[[Any], bool] = lambda item: True) -> _FilterStoreGet:  # type: ignore[override]
         return _FilterStoreGet(self, filter)
+
+    def drain_pending(  # type: ignore[override]
+        self,
+        limit: Optional[int] = None,
+        filter: Callable[[Any], bool] = lambda item: True,
+    ) -> list:
+        """Pop up to ``limit`` items matching ``filter`` without waiting.
+
+        Honours the selection contract: items the predicate rejects stay
+        queued (the base class would pop FIFO regardless of filters).
+        """
+        drained: list = []
+        index = 0
+        while index < len(self.items) and (limit is None or len(drained) < limit):
+            if filter(self.items[index]):
+                drained.append(self.items.pop(index))
+            else:
+                index += 1
+        if drained and self._put_waiters:
+            self._trigger()
+        return drained
 
     def _do_get(self, event: _StoreGet) -> bool:
         predicate = getattr(event, "filter", lambda item: True)
@@ -350,3 +390,11 @@ class PriorityStore(Store):
             event.succeed(heapq.heappop(self.items))
             return True
         return False
+
+    def drain_pending(self, limit: Optional[int] = None) -> list:
+        """Pop up to ``limit`` items in priority order without waiting."""
+        count = len(self.items) if limit is None else min(limit, len(self.items))
+        drained = [heapq.heappop(self.items) for _ in range(count)]
+        if drained and self._put_waiters:
+            self._trigger()
+        return drained

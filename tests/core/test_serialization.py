@@ -125,6 +125,22 @@ def test_unsupported_types_rejected():
         encode_value({"x": set()})
 
 
+def test_int_wire_range_enforced_symmetrically():
+    # the wire contract is u64 zigzag; both encoder versions must fail
+    # fast on out-of-range ints instead of emitting undecodable bytes,
+    # and the boundary values must round-trip in both versions
+    for value in (2**63 - 1, -(2**63)):
+        for version in (1, 2):
+            assert decode_payload(encode_payload(value, version=version)) == value
+    for bad in (2**63, -(2**63) - 1):
+        with pytest.raises(CodecError):
+            encode_payload(bad, version=1)
+        with pytest.raises(CodecError):
+            encode_payload(bad, version=2)
+        with pytest.raises(CodecError):
+            encode_payload([bad], version=1)  # nested values too
+
+
 # -- property-based --------------------------------------------------------
 
 json_like = st.recursive(

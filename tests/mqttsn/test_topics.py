@@ -1,8 +1,13 @@
-"""Tests for topic matching and the registry."""
+"""Tests for topic matching, the registry and the subscription index."""
 
 import pytest
 
-from repro.mqttsn import TopicRegistry, topic_matches, validate_filter
+from repro.mqttsn import (
+    SubscriptionIndex,
+    TopicRegistry,
+    topic_matches,
+    validate_filter,
+)
 
 
 @pytest.mark.parametrize(
@@ -72,3 +77,110 @@ def test_registry_contains():
     assert "y" not in reg
     assert reg.name_of(999) is None
     assert reg.id_of("y") is None
+
+
+# --------------------------------------------------------------- index
+
+
+def test_index_exact_and_wildcard_match():
+    index = SubscriptionIndex()
+    index.add("s1", "prov/dev-1/data", 2)
+    index.add("s2", "prov/+/data", 1)
+    index.add("s3", "prov/#", 0)
+    index.add("s4", "other/topic", 2)
+    assert dict(index.match("prov/dev-1/data")) == {"s1": 2, "s2": 1, "s3": 0}
+    assert dict(index.match("prov/dev-2/data")) == {"s2": 1, "s3": 0}
+    assert dict(index.match("other/topic")) == {"s4": 2}
+    assert index.match("unrelated") == []
+
+
+def test_index_hash_matches_parent_level():
+    # per the MQTT spec, "a/#" also matches the parent topic "a"
+    index = SubscriptionIndex()
+    index.add("s", "a/#", 1)
+    assert index.match("a") == [("s", 1)]
+    assert index.match("a/b/c") == [("s", 1)]
+    assert index.match("b") == []
+
+
+def test_index_first_matching_subscription_wins_qos():
+    # mirrors the broker: one delivery per client, the earliest matching
+    # subscription decides the QoS
+    index = SubscriptionIndex()
+    index.add("s", "prov/#", 0)
+    index.add("s", "prov/dev/data", 2)
+    assert index.match("prov/dev/data") == [("s", 0)]
+
+    other = SubscriptionIndex()
+    other.add("s", "prov/dev/data", 2)
+    other.add("s", "prov/#", 0)
+    assert other.match("prov/dev/data") == [("s", 2)]
+
+
+def test_index_match_order_is_subscription_age():
+    index = SubscriptionIndex()
+    index.add("late", "t", 1)
+    index.add("early", "#", 1)
+    index.remove("late")
+    index.add("relate", "t", 1)
+    assert [key for key, _ in index.match("t")] == ["early", "relate"]
+
+
+def test_index_resubscribe_is_idempotent():
+    index = SubscriptionIndex()
+    index.add("s", "t", 2)
+    index.add("s", "prov/#", 1)
+    for _ in range(5):  # periodic re-subscribe must not grow state
+        index.add("s", "t", 0)
+        index.add("s", "prov/#", 0)
+    assert len(index) == 2
+    assert index.match("t") == [("s", 2)]  # original QoS kept
+    index.remove("s")
+    assert len(index) == 0
+    assert index.match("t") == []
+    assert index.match("prov/x") == []
+
+
+def test_index_remove_clears_all_filters_of_a_key():
+    index = SubscriptionIndex()
+    index.add("s", "a/b", 1)
+    index.add("s", "a/+", 2)
+    index.add("other", "a/b", 1)
+    assert len(index) == 3
+    index.remove("s")
+    assert len(index) == 1
+    assert dict(index.match("a/b")) == {"other": 1}
+    # removing an unknown key is a no-op
+    index.remove("ghost")
+
+
+def test_index_prunes_emptied_trie_branches():
+    index = SubscriptionIndex()
+    index.add("s", "deep/+/nested/#", 1)
+    assert index._root.children
+    index.remove("s")
+    assert not index._root.children  # branch fully pruned
+    assert index.match("deep/x/nested/y") == []
+
+
+def test_index_rejects_invalid_filters():
+    index = SubscriptionIndex()
+    with pytest.raises(ValueError):
+        index.add("s", "a/#/b", 0)
+    with pytest.raises(ValueError):
+        index.add("s", "", 0)
+
+
+def test_index_agrees_with_linear_matching():
+    filters = ["a/b/c", "a/+/c", "a/#", "+/b/c", "#", "x/y", "a/b/+", "+"]
+    topics = ["a/b/c", "a/x/c", "a", "a/b", "x/y", "q", "a/b/c/d", "x"]
+    index = SubscriptionIndex()
+    for i, pattern in enumerate(filters):
+        index.add(f"k{i}", pattern, qos=i % 3)
+    for topic in topics:
+        expected = {
+            f"k{i}": i % 3
+            for i, pattern in enumerate(filters)
+            if topic_matches(pattern, topic)
+        }
+        assert dict(index.match(topic)) == expected, topic

@@ -238,6 +238,52 @@ def test_store_fifo_order():
     assert got == ["x", "y", "z"]
 
 
+def test_store_drain_pending_batches_without_blocking():
+    env = Environment()
+    store = Store(env)
+    for item in ["a", "b", "c", "d"]:
+        store.put(item)
+    assert store.drain_pending(2) == ["a", "b"]
+    assert store.drain_pending() == ["c", "d"]
+    assert store.drain_pending() == []  # empty: returns, never blocks
+
+
+def test_store_drain_pending_wakes_blocked_putters():
+    env = Environment()
+    store = Store(env, capacity=2)
+    done = []
+
+    def producer(env):
+        for item in range(4):
+            yield store.put(item)
+        done.append(True)
+
+    env.process(producer(env))
+    env.run()
+    assert not done  # producer stuck: store full at capacity 2
+    assert store.drain_pending() == [0, 1]
+    env.run()  # freed capacity lets the remaining puts complete
+    assert done and store.items == [2, 3]
+
+
+def test_filter_store_drain_pending_honours_filter():
+    env = Environment()
+    store = FilterStore(env)
+    for item in [1, 2, 3, 4, 5]:
+        store.put(item)
+    assert store.drain_pending(filter=lambda item: item % 2) == [1, 3, 5]
+    assert store.items == [2, 4]  # rejected items stay queued
+
+
+def test_priority_store_drain_pending_in_priority_order():
+    env = Environment()
+    store = PriorityStore(env)
+    for item in [5, 1, 3]:
+        store.put(item)
+    assert store.drain_pending(2) == [1, 3]
+    assert store.drain_pending() == [5]
+
+
 def test_store_get_blocks_until_put():
     env = Environment()
     store = Store(env)
