@@ -1,0 +1,129 @@
+"""Broker-plane horizontal scaling: PUBLISH throughput at 1/2/4/8 shards.
+
+Table IX-style fan-in — dozens of devices publishing to per-device
+topics at the same instant, with a wildcard monitor subscribed to all of
+them — driven into a :class:`~repro.mqttsn.BrokerCluster` at increasing
+shard counts.  A cluster of one is the seed deployment (one broker owns
+the port); larger clusters pay the front dispatcher's
+``broker_dispatch_fixed_s`` per datagram but service their session
+partitions in parallel, so the *simulated* sustained throughput rises
+until the serial dispatch cost dominates.
+
+Two kinds of numbers come out of this file:
+
+* pytest-benchmark medians (wall-clock cost of simulating the workload,
+  gated against the checked-in baseline like every other microbench);
+* the simulated ``msgs/s`` each run records via ``benchmark.extra_info``
+  — machine-independent, and the source of the
+  ``broker_throughput_speedup_4_shards_over_1`` headline that
+  ``scripts/run_benchmarks.py`` writes to ``BENCH_microbench_codecs.json``.
+
+``test_cluster_throughput_scales_with_shards`` pins the acceptance bar
+(4 shards sustain measurably more than 1) deterministically in simulated
+time, so it holds on any hardware.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.mqttsn import BrokerCluster, MqttSnClient
+from repro.net import Network
+from repro.simkernel import Environment
+
+N_PUBLISHERS = 48
+MSGS_PER_PUBLISHER = 25
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: all publishers blast at this simulated instant, well after every
+#: CONNECT/REGISTER exchange has settled
+BLAST_AT_S = 1.0
+
+
+@dataclass
+class ShardRunResult:
+    shards: int
+    delivered: int
+    makespan_s: float
+
+    @property
+    def throughput_msgs_per_s(self) -> float:
+        return self.delivered / self.makespan_s
+
+
+def run_publish_workload(shards: int) -> ShardRunResult:
+    """Drive the fan-in workload into a ``shards``-wide cluster.
+
+    Returns the simulated makespan from the blast instant to the last
+    delivery at the wildcard monitor (QoS 0 end to end: the broker plane
+    itself is the only queueing stage, which is what we are measuring).
+    """
+    env = Environment()
+    net = Network(env, seed=3)
+    net.add_host("cloud")
+    cluster = BrokerCluster(net.hosts["cloud"], shards=shards)
+
+    expected = N_PUBLISHERS * MSGS_PER_PUBLISHER
+    done = {"at": None, "count": 0}
+
+    def on_message(topic, payload):
+        done["count"] += 1
+        if done["count"] == expected:
+            done["at"] = env.now
+
+    net.add_host("monitor")
+    net.connect("monitor", "cloud", bandwidth_bps=1e9, latency_s=0.0005)
+    monitor = MqttSnClient(net.hosts["monitor"], "monitor", cluster.endpoint)
+
+    def run_monitor(env):
+        yield from monitor.connect()
+        yield from monitor.subscribe("bench/#", on_message, qos=0)
+
+    def run_publisher(env, client, index):
+        yield from client.connect()
+        topic_id = yield from client.register(f"bench/dev-{index}/data")
+        yield env.timeout(BLAST_AT_S - env.now)
+        for m in range(MSGS_PER_PUBLISHER):
+            client.publish_nowait(topic_id, b"m%05d" % m, qos=0)
+
+    env.process(run_monitor(env))
+    for i in range(N_PUBLISHERS):
+        name = f"edge-{i}"
+        net.add_host(name)
+        net.connect(name, "cloud", bandwidth_bps=1e9, latency_s=0.0005)
+        client = MqttSnClient(net.hosts[name], f"pub-{i}", cluster.endpoint)
+        env.process(run_publisher(env, client, i))
+    env.run()
+
+    assert done["at"] is not None, (
+        f"only {done['count']}/{expected} messages delivered"
+    )
+    return ShardRunResult(
+        shards=shards,
+        delivered=done["count"],
+        makespan_s=done["at"] - BLAST_AT_S,
+    )
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_cluster_publish_throughput(benchmark, shards):
+    result = benchmark(run_publish_workload, shards)
+    assert result.delivered == N_PUBLISHERS * MSGS_PER_PUBLISHER
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["simulated_msgs_per_s"] = round(
+        result.throughput_msgs_per_s, 1
+    )
+    benchmark.extra_info["simulated_makespan_ms"] = round(
+        result.makespan_s * 1e3, 3
+    )
+
+
+def test_cluster_throughput_scales_with_shards():
+    """Acceptance bar: 4 shards sustain >1.5x the single broker's
+    simulated PUBLISH throughput on the same workload (expected ~3.5x:
+    near-linear shard scaling minus the serial dispatcher front)."""
+    one = run_publish_workload(1)
+    four = run_publish_workload(4)
+    assert one.delivered == four.delivered
+    speedup = four.throughput_msgs_per_s / one.throughput_msgs_per_s
+    assert speedup > 1.5, f"shard scaling speedup only {speedup:.2f}x"

@@ -35,6 +35,9 @@ def main() -> None:
     net.connect("edge", "cloud", bandwidth_bps=1e9, latency_s=0.023)
 
     # --- 2. the ProvLight server: broker + translator + backend -----------
+    # broker_shards=N partitions the broker plane behind the same single
+    # endpoint (consistent hashing on client id) for multi-core fan-in;
+    # the default of 1 is the paper's one-broker deployment
     backend = DfAnalyzerService()
     server = ProvLightServer(net.hosts["cloud"], CallableBackend(backend.ingest))
     client = ProvLightClient(edge, server.endpoint, "provlight/edge/data")

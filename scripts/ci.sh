@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 CI: the full test suite, then the quick perf regression gate.
+#
+# The quick gate re-runs every microbenchmark with capped calibration
+# (~seconds, not minutes) and fails on >QUICK_THRESHOLD slowdowns
+# against benchmarks/baseline_microbench_codecs.json — so an
+# accidental hot-path collapse is caught on every change, not only when
+# someone remembers to run the full benchmark suite.  See
+# scripts/run_benchmarks.py for the baseline/fingerprint rules.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
+python scripts/run_benchmarks.py --quick

@@ -1,12 +1,16 @@
 #!/usr/bin/env python
 """Run the wall-clock microbenchmarks and record the perf trajectory.
 
-Runs ``benchmarks/test_microbench_codecs.py`` and
-``benchmarks/test_broker_routing_scale.py`` under pytest-benchmark with a
+Runs ``benchmarks/test_microbench_codecs.py``,
+``benchmarks/test_broker_routing_scale.py`` and
+``benchmarks/test_broker_shard_scale.py`` under pytest-benchmark with a
 fixed seed, then writes ``BENCH_microbench_codecs.json`` at the repo
 root: median ns/op per benchmark, the real payload sizes the codecs
 produce, and the headline ratios the hot-path issues track (codec
-v2-vs-v1, routing index vs the seed linear scan at 1000 topics).
+v2-vs-v1, routing index vs the seed linear scan at 1000 topics, broker
+cluster throughput at 4 shards vs the single broker — the latter read
+from the simulated-time ``extra_info`` the shard benchmark records, so
+it is machine-independent).
 
 Regression gate: when ``benchmarks/baseline_microbench_codecs.json``
 exists **and was written on this machine** (the baseline records a
@@ -46,6 +50,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILES = [
     REPO_ROOT / "benchmarks" / "test_microbench_codecs.py",
     REPO_ROOT / "benchmarks" / "test_broker_routing_scale.py",
+    REPO_ROOT / "benchmarks" / "test_broker_shard_scale.py",
 ]
 OUTPUT_FILE = REPO_ROOT / "BENCH_microbench_codecs.json"
 BASELINE_FILE = REPO_ROOT / "benchmarks" / "baseline_microbench_codecs.json"
@@ -136,12 +141,18 @@ def summarize(raw: dict) -> dict:
     benchmarks = {}
     for bench in raw.get("benchmarks", ()):
         stats = bench["stats"]
-        benchmarks[bench["name"]] = {
+        entry = {
             "median_ns": round(stats["median"] * 1e9, 1),
             "mean_ns": round(stats["mean"] * 1e9, 1),
             "stddev_ns": round(stats["stddev"] * 1e9, 1),
             "rounds": stats["rounds"],
         }
+        extra = bench.get("extra_info") or {}
+        if extra:
+            # simulated-time measures (e.g. shard-cluster msgs/s) ride
+            # along; unlike medians they are machine-independent
+            entry["extra_info"] = extra
+        benchmarks[bench["name"]] = entry
     return benchmarks
 
 
@@ -163,6 +174,20 @@ def headline(benchmarks: dict, sizes: dict) -> dict:
     r2 = median("test_route_1000_topics_index")
     if r1 and r2:
         out["routing_speedup_index_over_scan_1000_topics"] = round(r1 / r2, 1)
+
+    def shard_throughput(shards: int):
+        entry = benchmarks.get(f"test_cluster_publish_throughput[{shards}]")
+        if not entry:
+            return None
+        return entry.get("extra_info", {}).get("simulated_msgs_per_s")
+
+    t1 = shard_throughput(1)
+    for shards in (2, 4, 8):
+        tn = shard_throughput(shards)
+        if t1 and tn:
+            out[f"broker_throughput_speedup_{shards}_shards_over_1"] = round(
+                tn / t1, 2
+            )
     g1 = sizes["grouped_50x10_v1_uncompressed_bytes"]
     g2 = sizes["grouped_50x10_v2_uncompressed_bytes"]
     out["grouped_uncompressed_size_reduction"] = round(1 - g2 / g1, 3)

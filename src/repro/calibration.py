@@ -137,6 +137,13 @@ class ServerCosts:
     #: so draining N queued packets costs ``batch_fixed + N * per_packet``
     #: instead of N full wakeups — the batching win Table IX leans on.
     broker_batch_fixed_s: float = 0.02 * MS
+    #: Sharded broker plane: per-datagram cost of the front dispatcher
+    #: (epoll return, header peek, queue push to the owning shard) and of
+    #: one inter-shard relay hop.  An order of magnitude below
+    #: ``broker_per_packet_s``: the dispatcher never parses past the
+    #: message-type octet, so shard counts scale throughput until this
+    #: serial front cost dominates (Amdahl bound ~10x).
+    broker_dispatch_fixed_s: float = 0.005 * MS
     #: Translator: decompress + translate one ProvLight message.
     translate_per_message_s: float = 0.9 * MS
     #: Translator: fixed extra for a grouped payload (paper: ~5 ms total).

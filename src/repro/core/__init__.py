@@ -20,6 +20,7 @@ from .serialization import (
     encode_value,
 )
 from .server import (
+    DEFAULT_BROKER_SHARDS,
     DEFAULT_TRANSLATOR_WORKERS,
     CallableBackend,
     HttpBackend,
@@ -44,6 +45,7 @@ __all__ = [
     "ProvLightServer",
     "TranslatorPool",
     "DEFAULT_TRANSLATOR_WORKERS",
+    "DEFAULT_BROKER_SHARDS",
     "CallableBackend",
     "HttpBackend",
     "GroupBuffer",

@@ -1,4 +1,4 @@
-"""The ProvLight server: MQTT-SN broker + sharded provenance translators.
+"""The ProvLight server: sharded MQTT-SN broker plane + sharded translators.
 
 Mirrors the paper's Fig. 3/Fig. 5 deployment: an RSMB-style broker
 receives the devices' publishes; translators subscribe, decode/decompress
@@ -6,30 +6,39 @@ the payloads, translate them (default: to the DfAnalyzer model) and hand
 them to a backend — either an in-process store or an HTTP endpoint of a
 provenance system.
 
-Instead of the paper prototype's one-process-per-topic layout, the server
-runs a fixed-size :class:`TranslatorPool`: topics are sharded across K
-workers by consistent hashing on the topic name, each worker owning
-one MQTT-SN subscriber client and draining its inbox in batches.  A
-thousand device topics therefore cost K subscriber clients, not a
-thousand.  :meth:`ProvLightServer.add_translator` is kept as the
-compatibility entry point: it attaches one topic filter to the pool.
+Two layers of the server shard by consistent hashing (the same ring,
+:class:`~repro.hashring.ConsistentHashRing`):
+
+* the **broker plane** is a :class:`~repro.mqttsn.BrokerCluster` of
+  ``broker_shards`` broker instances behind one endpoint (client ids
+  shard onto brokers; ``broker_shards=1``, the default, is
+  wire-identical to a single standalone broker);
+* the **translator plane** is a fixed-size :class:`TranslatorPool`:
+  topics shard across K workers, each owning one MQTT-SN subscriber
+  client and draining its inbox in batches.  A thousand device topics
+  therefore cost K subscriber clients, not a thousand.
+  :meth:`ProvLightServer.add_translator` is kept as the compatibility
+  entry point: it attaches one topic filter to the pool.
 
 Backends follow a uniform generator protocol: ``ingest(translated)``
 returns an iterable of simulation events.  Synchronous backends deliver
 inline and return no events; network backends return a generator that
-yields the I/O events of the request.
+yields the I/O events of the request.  Backends may additionally expose
+``ingest_batch(batch)`` — same contract, one call per *drained worker
+batch* — which lets a network backend pipeline the whole batch into one
+bulk request instead of one POST per translated group; workers prefer it
+when present.
 """
 
 from __future__ import annotations
 
 import json
-from bisect import bisect_right
-from typing import Any, Callable, Iterable, List, Tuple
-from zlib import crc32
+from typing import Any, Callable, Iterable, List, Sequence, Tuple
 
 from ..calibration import SERVER_COSTS, ServerCosts
+from ..hashring import ConsistentHashRing
 from ..http import HttpSession
-from ..mqttsn import DEFAULT_BROKER_PORT, MqttSnBroker, MqttSnClient
+from ..mqttsn import BrokerCluster, DEFAULT_BROKER_PORT, MqttSnClient
 from ..net import Endpoint, Host
 from ..simkernel import Counter, Store
 from .translator import Translator
@@ -40,10 +49,14 @@ __all__ = [
     "CallableBackend",
     "HttpBackend",
     "DEFAULT_TRANSLATOR_WORKERS",
+    "DEFAULT_BROKER_SHARDS",
 ]
 
 #: paper Table IX reproduces with 8 workers serving 64 device topics
 DEFAULT_TRANSLATOR_WORKERS = 8
+
+#: single broker shard by default — identical to the pre-cluster server
+DEFAULT_BROKER_SHARDS = 1
 
 
 class CallableBackend:
@@ -59,6 +72,14 @@ class CallableBackend:
         self.delivered.record()
         return ()
 
+    def ingest_batch(self, batch: Sequence[Any]) -> Iterable:
+        """Deliver each group inline, in order — an in-process callable
+        gains nothing from bulk framing, so the single-group behaviour
+        is preserved group by group."""
+        for translated in batch:
+            self.ingest(translated)
+        return ()
+
 
 class HttpBackend:
     """Adapter POSTing translated records to a provenance system's API."""
@@ -68,6 +89,7 @@ class HttpBackend:
         self.endpoint = endpoint
         self.path = path
         self.delivered = Counter("backend-delivered")
+        self.requests = Counter("backend-requests")
 
     def ingest(self, translated: Any):
         # compact separators: backend POST bodies are real wire bytes in
@@ -77,6 +99,22 @@ class HttpBackend:
         if not response.ok:
             raise RuntimeError(f"backend rejected ingest: {response.status}")
         self.delivered.record()
+        self.requests.record(len(body))
+
+    def ingest_batch(self, batch: Sequence[Any]):
+        """Pipelined ingest: one bulk POST (a JSON array body) covers the
+        whole drained batch.  A batch of one keeps the bare-object body,
+        so light traffic stays wire-identical to the per-group path."""
+        if len(batch) == 1:
+            yield from self.ingest(batch[0])
+            return
+        body = json.dumps(list(batch), default=str, separators=(",", ":")).encode()
+        response = yield from self.session.post(self.endpoint, self.path, body)
+        if not response.ok:
+            raise RuntimeError(f"backend rejected bulk ingest: {response.status}")
+        for _ in batch:  # delivered.count stays group-denominated
+            self.delivered.record()
+        self.requests.record(len(body))
 
 
 class _TranslatorWorker:
@@ -162,8 +200,17 @@ class _TranslatorWorker:
                 yield from device.cpu.run(io_busy_s=work, tag="translator")
             else:
                 yield self.env.timeout(work)
-            for records, translated in translated_batch:
-                yield from server.backend.ingest(translated)
+            # pipelined ingest: hand the backend the whole drained batch
+            # (one bulk request for network backends) when it supports
+            # it; otherwise fall back to one ingest per translated group
+            backend = server.backend
+            ingest_batch = getattr(backend, "ingest_batch", None)
+            if ingest_batch is not None:
+                yield from ingest_batch([t for _, t in translated_batch])
+            else:
+                for _records, translated in translated_batch:
+                    yield from backend.ingest(translated)
+            for records, _translated in translated_batch:
                 server.records_ingested.record(len(records))
 
     def __repr__(self) -> str:
@@ -192,23 +239,14 @@ class TranslatorPool:
         self.workers = [
             _TranslatorWorker(server, i + 1, max_batch) for i in range(size)
         ]
-        points: List[Tuple[int, int]] = []
-        for i in range(size):
-            points.extend(
-                (crc32(f"worker-{i}#{v}".encode()), i) for v in range(replicas)
-            )
-        points.sort()
-        self._ring_points = [p for p, _ in points]
-        self._ring_workers = [w for _, w in points]
+        self._ring = ConsistentHashRing(size, replicas=replicas, salt="worker")
 
     def __len__(self) -> int:
         return len(self.workers)
 
     def worker_for(self, topic_filter: str) -> _TranslatorWorker:
         """The worker a topic shards to (stable, side-effect free)."""
-        point = crc32(topic_filter.encode())
-        idx = bisect_right(self._ring_points, point) % len(self._ring_points)
-        return self.workers[self._ring_workers[idx]]
+        return self.workers[self._ring.node_for(topic_filter)]
 
     def attach(self, topic_filter: str):
         """Generator: route ``topic_filter`` to its shard and subscribe."""
@@ -226,7 +264,15 @@ class TranslatorPool:
 
 
 class ProvLightServer:
-    """Broker + sharded translator pool on one (cloud) host."""
+    """Sharded broker plane + sharded translator pool on one (cloud) host.
+
+    ``broker_shards`` sizes the :class:`~repro.mqttsn.BrokerCluster`
+    behind :attr:`endpoint`; the default of 1 is wire-identical to the
+    pre-cluster single broker.  :attr:`broker` exposes the cluster,
+    which delegates the standalone broker's surface (``sessions``,
+    ``topics``, ``subscriptions``, retry knobs, counters) at any shard
+    count.
+    """
 
     def __init__(
         self,
@@ -237,6 +283,7 @@ class ProvLightServer:
         costs: ServerCosts = SERVER_COSTS,
         cipher=None,
         workers: int = DEFAULT_TRANSLATOR_WORKERS,
+        broker_shards: int = DEFAULT_BROKER_SHARDS,
     ):
         self.host = host
         self.env = host.env
@@ -244,10 +291,12 @@ class ProvLightServer:
         self.backend = backend
         self.costs = costs
         self.translator = Translator(target, cipher=cipher)
-        self.broker = MqttSnBroker(
+        self.broker = BrokerCluster(
             host, port,
+            shards=broker_shards,
             service_time_s=costs.broker_per_packet_s,
             batch_fixed_s=costs.broker_batch_fixed_s,
+            dispatch_fixed_s=costs.broker_dispatch_fixed_s,
         )
         self.pool = TranslatorPool(self, workers)
         #: one entry per attached topic filter (compatibility with the

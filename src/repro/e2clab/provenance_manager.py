@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core import (
+    DEFAULT_BROKER_SHARDS,
     DEFAULT_TRANSLATOR_WORKERS,
     CallableBackend,
     ProvLightClient,
@@ -45,6 +46,7 @@ class ProvenanceManager:
         compress: bool = True,
         host_name: Optional[str] = None,
         translator_workers: int = DEFAULT_TRANSLATOR_WORKERS,
+        broker_shards: int = DEFAULT_BROKER_SHARDS,
     ):
         self.network = network
         self.env: Environment = network.env
@@ -61,7 +63,7 @@ class ProvenanceManager:
         self.host = host
         self.server = ProvLightServer(
             host, CallableBackend(self.service.ingest), target=target,
-            workers=translator_workers,
+            workers=translator_workers, broker_shards=broker_shards,
         )
         self.clients: Dict[str, ProvLightClient] = {}
 

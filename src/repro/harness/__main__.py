@@ -1,4 +1,8 @@
-"""Entry point: ``python -m repro.harness [targets...]``."""
+"""Entry point: ``python -m repro.harness [targets...]``.
+
+See ``runner.main`` for the flags (``--reps``, ``--broker-shards``,
+``--write-experiments``).
+"""
 
 import sys
 

@@ -8,6 +8,7 @@ count, and returns the measures every table/figure is built from.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -15,6 +16,7 @@ import numpy as np
 
 from ..baselines import DfAnalyzerCaptureClient, NullCaptureClient, ProvLakeClient
 from ..core import (
+    DEFAULT_BROKER_SHARDS,
     DEFAULT_TRANSLATOR_WORKERS,
     CallableBackend,
     ProvLightClient,
@@ -44,6 +46,28 @@ SYSTEMS = ("provlight", "provlake", "dfanalyzer")
 DEFAULT_REPETITIONS = 10
 
 
+def _default_broker_shards() -> int:
+    """Broker shard count; ``REPRO_BROKER_SHARDS`` overrides the default.
+
+    The environment hook is what lets ``python -m repro.harness
+    --broker-shards N`` retarget every table/figure without threading an
+    argument through each driver.  Invalid values fail loudly here, at
+    the first ``ExperimentSetup()``, matching the CLI's rejection.
+    """
+    value = os.environ.get("REPRO_BROKER_SHARDS")
+    if not value:
+        return DEFAULT_BROKER_SHARDS
+    try:
+        shards = int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BROKER_SHARDS must be an integer, got {value!r}"
+        ) from None
+    if shards < 1:
+        raise ValueError(f"REPRO_BROKER_SHARDS must be >= 1, got {shards}")
+    return shards
+
+
 @dataclass(frozen=True)
 class ExperimentSetup:
     """Everything that defines one experimental condition."""
@@ -61,6 +85,9 @@ class ExperimentSetup:
     #: size of the sharded translator pool on the server (paper Table IX:
     #: 8 workers absorb 64 device topics)
     translator_workers: int = DEFAULT_TRANSLATOR_WORKERS
+    #: broker shards behind the server endpoint (1 = the single-broker
+    #: deployment; ``REPRO_BROKER_SHARDS`` overrides the default)
+    broker_shards: int = field(default_factory=_default_broker_shards)
 
     def describe(self) -> str:
         parts = [self.system, self.bandwidth, f"delay={self.delay}"]
@@ -68,6 +95,8 @@ class ExperimentSetup:
             parts.append(f"group={self.group_size}")
         if self.n_devices > 1:
             parts.append(f"devices={self.n_devices}")
+        if self.broker_shards > 1:
+            parts.append(f"shards={self.broker_shards}")
         if self.device_spec is not A8M3:
             parts.append(self.device_spec.name)
         return " ".join(parts)
@@ -135,6 +164,7 @@ def run_capture_experiment(
         server = ProvLightServer(
             net.hosts["cloud"], CallableBackend(backend_service.ingest),
             workers=setup.translator_workers,
+            broker_shards=setup.broker_shards,
         )
         for i, device in enumerate(devices):
             clients.append(

@@ -4,12 +4,14 @@ Usage::
 
     python -m repro.harness all
     python -m repro.harness table7 fig6a --reps 5
+    python -m repro.harness table9 --broker-shards 4
     python -m repro.harness all --write-experiments EXPERIMENTS.md
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Dict, List, Optional
@@ -78,11 +80,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--reps", type=int, default=None,
                         help="repetitions per experiment (default: paper's 10)")
+    parser.add_argument("--broker-shards", type=int, default=None, metavar="N",
+                        help="broker shards behind the ProvLight server "
+                        "endpoint for every experiment (default: 1, the "
+                        "single-broker deployment)")
     parser.add_argument("--write-experiments", metavar="PATH", default=None,
                         help="append rendered results to this markdown file")
     args = parser.parse_args(argv)
 
-    results = run_targets(args.targets or ["all"], repetitions=args.reps)
+    if args.broker_shards is not None and args.broker_shards < 1:
+        parser.error("--broker-shards must be >= 1")
+    # the tables build their ExperimentSetup grids internally; the
+    # environment hook retargets them all (see experiments.py).  Restore
+    # it afterwards so an in-process caller (tests, notebooks) does not
+    # inherit the override.
+    previous = os.environ.get("REPRO_BROKER_SHARDS")
+    try:
+        if args.broker_shards is not None:
+            os.environ["REPRO_BROKER_SHARDS"] = str(args.broker_shards)
+        results = run_targets(args.targets or ["all"], repetitions=args.reps)
+    finally:
+        if args.broker_shards is not None:
+            if previous is None:
+                os.environ.pop("REPRO_BROKER_SHARDS", None)
+            else:
+                os.environ["REPRO_BROKER_SHARDS"] = previous
     if args.write_experiments:
         write_experiments_md(results, args.write_experiments)
         print(f"appended results to {args.write_experiments}")

@@ -1,0 +1,60 @@
+"""Consistent hashing shared by the server's sharded planes.
+
+Both sharded layers of the ProvLight server — the :class:`TranslatorPool`
+(topics onto pool workers) and the :class:`BrokerCluster` (client
+sessions onto broker shards) — need the same property: the owner of a
+key is a pure function of the key, and resizing the layer by one node
+remaps only ~1/K of the keys instead of reshuffling everything.
+
+The ring carries ``replicas`` virtual points per node so shares stay
+even, and the points of node ``i`` depend only on ``(salt, i)`` — a ring
+of K+1 nodes therefore contains the K-node ring's points as a subset,
+which is exactly what makes grow/shrink remap only the keys that land on
+the new node's arcs (``tests/property/test_invariants.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List
+from zlib import crc32
+
+__all__ = ["ConsistentHashRing"]
+
+
+class ConsistentHashRing:
+    """A fixed ring mapping string keys onto ``n_nodes`` integer nodes."""
+
+    __slots__ = ("n_nodes", "replicas", "salt", "_points", "_nodes")
+
+    def __init__(self, n_nodes: int, *, replicas: int = 32, salt: str = "worker"):
+        if n_nodes <= 0:
+            raise ValueError("hash ring needs at least one node")
+        if replicas <= 0:
+            raise ValueError("hash ring needs at least one virtual point per node")
+        self.n_nodes = n_nodes
+        self.replicas = replicas
+        self.salt = salt
+        points: List[tuple] = []
+        for i in range(n_nodes):
+            points.extend(
+                (crc32(f"{salt}-{i}#{v}".encode()), i) for v in range(replicas)
+            )
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._nodes = [n for _, n in points]
+
+    def node_for(self, key: str) -> int:
+        """The node owning ``key`` (stable, side-effect free)."""
+        point = crc32(key.encode())
+        idx = bisect_right(self._points, point) % len(self._points)
+        return self._nodes[idx]
+
+    def __len__(self) -> int:
+        return self.n_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConsistentHashRing nodes={self.n_nodes} "
+            f"replicas={self.replicas} salt={self.salt!r}>"
+        )

@@ -8,6 +8,7 @@ subscriptions, and exactly-once (QoS 2) semantics in both directions.
 from . import packets
 from .broker import DEFAULT_BROKER_PORT, MqttSnBroker
 from .client import MessageHandler, MqttSnClient, MqttSnTimeout
+from .cluster import DEFAULT_BROKER_SHARDS, BrokerCluster
 from .packets import (
     Connack,
     Connect,
@@ -34,7 +35,9 @@ from .topics import SubscriptionIndex, TopicRegistry, topic_matches, validate_fi
 __all__ = [
     "packets",
     "MqttSnBroker",
+    "BrokerCluster",
     "DEFAULT_BROKER_PORT",
+    "DEFAULT_BROKER_SHARDS",
     "MqttSnClient",
     "MqttSnTimeout",
     "MessageHandler",

@@ -61,7 +61,16 @@ class _OutboundQos2:
 
 
 class MqttSnBroker:
-    """An MQTT-SN broker bound to one host/port."""
+    """An MQTT-SN broker bound to one host/port.
+
+    Standalone by default: binds its own UDP port and routes through its
+    own :class:`SubscriptionIndex`.  A :class:`~repro.mqttsn.cluster.
+    BrokerCluster` instead hands each shard a pre-bound socket facade, a
+    routing index that replicates into the cluster's shared view, and a
+    ``relay`` for deliveries owed to subscribers homed on other shards
+    (``relay.stage()`` per forwarded PUBLISH, ``relay.flush()`` once per
+    service batch so cross-shard deliveries coalesce like local ones).
+    """
 
     def __init__(
         self,
@@ -72,6 +81,10 @@ class MqttSnBroker:
         max_batch: int = 64,
         retry_interval_s: float = 1.0,
         max_retries: int = 5,
+        *,
+        sock=None,
+        subscriptions: Optional[SubscriptionIndex] = None,
+        relay=None,
     ):
         self.host = host
         self.env = host.env
@@ -81,11 +94,14 @@ class MqttSnBroker:
         self.max_batch = max(1, max_batch)
         self.retry_interval_s = retry_interval_s
         self.max_retries = max_retries
+        self.relay = relay
 
-        self.sock = host.udp_socket(port)
+        self.sock = sock if sock is not None else host.udp_socket(port)
         self.topics = TopicRegistry()
         self.sessions: Dict[Endpoint, _Session] = {}
-        self.subscriptions = SubscriptionIndex()
+        self.subscriptions = (
+            subscriptions if subscriptions is not None else SubscriptionIndex()
+        )
         self._outbound: Dict[Tuple[Endpoint, int], _OutboundQos2] = {}
         #: deliveries coalesced within the current service batch, grouped
         #: by the session that held the matching subscription (keyed by
@@ -121,6 +137,8 @@ class MqttSnBroker:
                 self._dispatch(message, source)
             if self._batch_deliveries:
                 self._flush_deliveries()
+            if self.relay is not None:
+                self.relay.flush(self)
 
     def _send(self, message: pkt.MqttSnMessage, dest: Endpoint) -> None:
         self.sock.sendto(message.encode(), dest)
@@ -247,16 +265,30 @@ class MqttSnBroker:
         Deliveries are only *staged* here; the receive loop flushes them
         grouped per subscriber once the whole batch has been dispatched.
         """
-        staged = self._batch_deliveries
+        if self.relay is not None:
+            # cluster mode: one match over the shared routing view covers
+            # local and remote subscribers alike (the local index is a
+            # strict subset, so matching both would double the hot-path
+            # work); the relay stages local deliveries back through
+            # _stage_delivery and buffers the rest for its batch flush
+            self.relay.route(self, topic_name, message)
+            return
         for endpoint, sub_qos in self.subscriptions.match(topic_name):
             session = self.sessions.get(endpoint)
             if session is None:
                 continue
-            entry = staged.get(id(session))
-            if entry is None:
-                entry = (session, [])
-                staged[id(session)] = entry
-            entry[1].append((topic_name, message, min(message.qos, sub_qos)))
+            self._stage_delivery(session, topic_name, message, min(message.qos, sub_qos))
+
+    def _stage_delivery(
+        self, session: _Session, topic_name: str, message: pkt.Publish, qos: int
+    ) -> None:
+        """Queue one delivery for the current batch's coalesced flush."""
+        staged = self._batch_deliveries
+        entry = staged.get(id(session))
+        if entry is None:
+            entry = (session, [])
+            staged[id(session)] = entry
+        entry[1].append((topic_name, message, qos))
 
     def _flush_deliveries(self) -> None:
         """Emit the batch's staged deliveries, grouped per subscriber."""

@@ -1,0 +1,390 @@
+"""Horizontally sharded MQTT-SN broker plane behind one logical endpoint.
+
+One :class:`~repro.mqttsn.broker.MqttSnBroker` owning the whole UDP port
+is the server's next bottleneck once batch servicing and indexed routing
+are in place (paper Table IX fan-in): every datagram still serializes
+through a single service loop.  :class:`BrokerCluster` partitions the
+session space across N broker shards — consistent hashing on the MQTT-SN
+*client id*, the same ring scheme the :class:`~repro.core.server.
+TranslatorPool` uses for topics — so shards service their sessions in
+parallel (multi-core scale-out in the simulated world) while devices
+keep configuring a single broker address.
+
+Layout (see ``docs/server-architecture.md``):
+
+* a :class:`~repro.net.UdpShardDispatcher` owns the public port, peeks
+  the message-type octet of each datagram (CONNECTs re-pin by client id,
+  everything else follows the source endpoint's sticky pin) and forwards
+  it to the owning shard for ``broker_dispatch_fixed_s`` of work;
+* each shard is a stock ``MqttSnBroker`` servicing only its own
+  sessions, sending replies through the shared front socket so the wire
+  shows one endpoint;
+* every shard's :class:`SubscriptionIndex` replicates its mutations into
+  a cluster-wide **routing view** (same exact-map + wildcard-trie
+  structure), so a PUBLISH arriving on shard A also matches subscribers
+  homed on shard B; those deliveries travel as **inter-shard relay
+  events** — staged during A's service batch, flushed once per batch,
+  and delivered by B with B's own retry timers and
+  ``delivery_failures`` accounting.
+
+A cluster of one is wire- and behaviour-identical to a standalone
+broker: no dispatcher, no replication, no relay — the single shard binds
+the public port directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..calibration import SERVER_COSTS
+from ..hashring import ConsistentHashRing
+from ..net import Endpoint, Host, UdpShardDispatcher
+from ..simkernel import Counter
+from . import packets as pkt
+from .broker import DEFAULT_BROKER_PORT, MqttSnBroker
+from .topics import SubscriptionIndex
+
+__all__ = ["BrokerCluster", "DEFAULT_BROKER_SHARDS"]
+
+#: a single shard keeps the server byte-for-byte compatible with the
+#: pre-cluster deployment; scale-out is opt-in via the knob threaded
+#: through :class:`~repro.core.server.ProvLightServer` and the harness
+DEFAULT_BROKER_SHARDS = 1
+
+
+def _peek_frame(data: bytes) -> Tuple[Optional[int], bytes]:
+    """``(message type octet, body)`` without a full decode.
+
+    This is the classifier's whole protocol knowledge: the two framing
+    layouts.  Anything malformed yields ``(None, b"")``, routes by
+    sticky pin and lets the owning shard's decoder reject it.
+    """
+    if len(data) < 2:
+        return None, b""
+    if data[0] == 0x01:  # long frame: 0x01 + 2 length octets + type
+        if len(data) < 4:
+            return None, b""
+        return data[3], data[4:]
+    return data[1], data[2:data[0]]
+
+
+def _peek_connect_client_id(data: bytes) -> Optional[str]:
+    """Client id when ``data`` frames an MQTT-SN CONNECT, else None."""
+    msg_type, body = _peek_frame(data)
+    if msg_type != pkt.MT_CONNECT:
+        return None
+    if len(body) < 5:  # flags + protocol id + duration (2) + client id
+        return None
+    try:
+        return body[4:].decode()
+    except UnicodeDecodeError:
+        return None
+
+
+class _ReplicatedIndex(SubscriptionIndex):
+    """A shard's subscription index that mirrors into the cluster view.
+
+    Every mutation is replicated into the cluster's shared routing view
+    together with the subscriber's home shard.  In cluster mode PUBLISH
+    routing matches the shared view once (see :class:`_ClusterRelay`);
+    the inherited local state keeps the shard self-describing and is
+    what the broker's CONNECT/DISCONNECT paths clean up.
+    """
+
+    def __init__(self, cluster: "BrokerCluster", shard_index: int):
+        super().__init__()
+        self._cluster = cluster
+        self._shard_index = shard_index
+
+    def add(self, key: Hashable, pattern: str, qos: int = 0) -> None:
+        super().add(key, pattern, qos)
+        self._cluster.routing_view.add(key, pattern, qos)
+        self._cluster._home[key] = self._shard_index
+
+    def remove(self, key: Hashable) -> None:
+        super().remove(key)
+        self._cluster.routing_view.remove(key)
+        self._cluster._home.pop(key, None)
+
+
+class _ClusterRelay:
+    """Stages cross-shard deliveries and relays them one event per batch.
+
+    ``route`` is called by a shard for every PUBLISH it forwards: one
+    match over the cluster routing view (the shard-local index is a
+    strict subset — matching both would double the hot-path work) whose
+    hits are partitioned by home shard.  Local subscribers are staged
+    straight back into the origin shard's batch; the rest are buffered
+    per destination shard until ``flush``, which runs once per service
+    batch and emits one relay event per destination — so back-to-back
+    PUBLISHes crossing shards arrive as one coalesced group under a
+    single retry timer, exactly like local deliveries.
+    """
+
+    def __init__(self, cluster: "BrokerCluster"):
+        self._cluster = cluster
+        self._staged: Dict[int, List[Tuple[object, str, pkt.Publish, int]]] = {}
+
+    def route(self, origin: MqttSnBroker, topic_name: str, message: pkt.Publish) -> None:
+        cluster = self._cluster
+        origin_index = cluster.index_of(origin)
+        for endpoint, sub_qos in cluster.routing_view.match(topic_name):
+            home = cluster._home.get(endpoint)
+            if home is None:
+                continue
+            qos = min(message.qos, sub_qos)
+            if home == origin_index:
+                session = origin.sessions.get(endpoint)
+                if session is None:
+                    continue
+                origin._stage_delivery(session, topic_name, message, qos)
+            else:
+                # bind to the session live *now* (the single broker's
+                # dispatch-time rule: the subscription matched while it
+                # was live, so a DISCONNECT or re-CONNECT racing the
+                # relay hop does not unsend the delivery)
+                session = cluster.shards[home].sessions.get(endpoint)
+                if session is None:
+                    continue
+                self._staged.setdefault(home, []).append(
+                    (session, topic_name, message, qos)
+                )
+
+    def flush(self, origin: MqttSnBroker) -> None:
+        if not self._staged:
+            return
+        staged, self._staged = self._staged, {}
+        cluster = self._cluster
+        for index, entries in staged.items():
+            cluster.relayed.record(len(entries))
+            cluster.env.process(self._deliver(cluster.shards[index], entries))
+
+    def _deliver(self, shard: MqttSnBroker, entries) -> None:
+        # one relay hop per (origin batch, destination shard): the same
+        # peek-and-push work the front dispatcher pays per datagram
+        yield self._cluster.env.timeout(self._cluster.dispatch_fixed_s)
+        for session, topic_name, message, qos in entries:
+            shard._stage_delivery(session, topic_name, message, qos)
+        shard._flush_deliveries()
+
+
+class BrokerCluster:
+    """N broker shards behind one public endpoint.
+
+    Constructor knobs mirror :class:`MqttSnBroker` and are applied to
+    every shard; ``dispatch_fixed_s`` prices the front dispatcher and
+    each inter-shard relay hop.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        port: int = DEFAULT_BROKER_PORT,
+        shards: int = DEFAULT_BROKER_SHARDS,
+        service_time_s: float = SERVER_COSTS.broker_per_packet_s,
+        batch_fixed_s: float = SERVER_COSTS.broker_batch_fixed_s,
+        dispatch_fixed_s: float = SERVER_COSTS.broker_dispatch_fixed_s,
+        max_batch: int = 64,
+        retry_interval_s: float = 1.0,
+        max_retries: int = 5,
+        replicas: int = 32,
+    ):
+        if shards <= 0:
+            raise ValueError("broker cluster needs at least one shard")
+        self.host = host
+        self.env = host.env
+        self.port = port
+        self.dispatch_fixed_s = dispatch_fixed_s
+        shard_kwargs = dict(
+            service_time_s=service_time_s,
+            batch_fixed_s=batch_fixed_s,
+            max_batch=max_batch,
+            retry_interval_s=retry_interval_s,
+            max_retries=max_retries,
+        )
+        self.relayed = Counter("relayed-deliveries")
+        if shards == 1:
+            # wire-identical to a standalone broker: it binds the public
+            # port itself; no dispatcher, no replication, no relay
+            self.dispatcher = None
+            self.routing_view: Optional[SubscriptionIndex] = None
+            self._home: Dict[Endpoint, int] = {}
+            self._ring: Optional[ConsistentHashRing] = None
+            self.shards: List[MqttSnBroker] = [
+                MqttSnBroker(host, port, **shard_kwargs)
+            ]
+        else:
+            self.routing_view = SubscriptionIndex()
+            self._home = {}
+            self._ring = ConsistentHashRing(shards, replicas=replicas, salt="shard")
+            self.dispatcher = UdpShardDispatcher(
+                host,
+                port,
+                shards,
+                classify=self._classify,
+                dispatch_fixed_s=dispatch_fixed_s,
+                max_batch=max_batch,
+                on_repin=self._on_repin,
+            )
+            relay = _ClusterRelay(self)
+            self.shards = [
+                MqttSnBroker(
+                    host,
+                    port,
+                    sock=self.dispatcher.sockets[i],
+                    subscriptions=_ReplicatedIndex(self, i),
+                    relay=relay,
+                    **shard_kwargs,
+                )
+                for i in range(shards)
+            ]
+        self._index_by_id = {id(shard): i for i, shard in enumerate(self.shards)}
+
+    # ------------------------------------------------------------- routing
+    def shard_of(self, client_id: str) -> int:
+        """The shard index a client id homes to (pure function)."""
+        if self._ring is None:
+            return 0
+        return self._ring.node_for(client_id)
+
+    def index_of(self, shard: MqttSnBroker) -> int:
+        return self._index_by_id[id(shard)]
+
+    def _classify(
+        self, payload: bytes, source: Endpoint, current: Optional[int]
+    ) -> int:
+        msg_type, _ = _peek_frame(payload)
+        if msg_type == pkt.MT_CONNECT:
+            client_id = _peek_connect_client_id(payload)
+            if client_id is not None:
+                return self._ring.node_for(client_id)
+        elif msg_type == pkt.MT_DISCONNECT and current is not None:
+            # the session ends at its shard; release the sticky pin once
+            # this datagram has been forwarded (zero-delay event, so the
+            # DISCONNECT itself still routes by the pin) — churning
+            # endpoints must not accrete dispatcher state forever
+            self.env.process(self._unpin_after_forward(source))
+        if current is not None:
+            return current
+        # unpinned non-CONNECT traffic: route deterministically by source
+        # so the owning shard's no-session accounting sees it (a single
+        # broker would record dropped_no_session for exactly this case)
+        return self._ring.node_for(f"{source[0]}:{source[1]}")
+
+    def _unpin_after_forward(self, source: Endpoint):
+        yield self.env.timeout(0)
+        self.dispatcher.unpin(source)
+
+    def _on_repin(self, source: Endpoint, old_index: int, new_index: int) -> None:
+        """A source re-identified onto another shard: purge the old home.
+
+        Mirrors the single broker, where a fresh CONNECT replaces the
+        endpoint's previous session state and subscriptions.
+        """
+        old = self.shards[old_index]
+        old.subscriptions.remove(source)
+        old.sessions.pop(source, None)
+        # in-flight QoS state towards this endpoint can never complete on
+        # the old shard (its acks now route to the new pin): drop it
+        # rather than retransmit to exhaustion and record spurious
+        # delivery failures for a live, acking client
+        for key in [k for k in old._outbound if k[0] == source]:
+            del old._outbound[key]
+
+    # ----------------------------------------------------- delegated views
+    @property
+    def endpoint(self) -> Endpoint:
+        """The single public address clients configure."""
+        return (self.host.name, self.port)
+
+    @property
+    def sessions(self) -> Dict[Endpoint, object]:
+        """All live sessions across shards (endpoints are disjoint)."""
+        if len(self.shards) == 1:
+            return self.shards[0].sessions
+        merged: Dict[Endpoint, object] = {}
+        for shard in self.shards:
+            merged.update(shard.sessions)
+        return merged
+
+    @property
+    def subscriptions(self) -> SubscriptionIndex:
+        """Cluster-wide subscription state (the shared routing view)."""
+        if self.routing_view is None:
+            return self.shards[0].subscriptions
+        return self.routing_view
+
+    @property
+    def topics(self):
+        """Topic registry of shard 0 (registries are shard-local; ids
+        are only meaningful between a client and its home shard)."""
+        return self.shards[0].topics
+
+    @property
+    def retry_interval_s(self) -> float:
+        return self.shards[0].retry_interval_s
+
+    @retry_interval_s.setter
+    def retry_interval_s(self, value: float) -> None:
+        for shard in self.shards:
+            shard.retry_interval_s = value
+
+    @property
+    def max_retries(self) -> int:
+        return self.shards[0].max_retries
+
+    @max_retries.setter
+    def max_retries(self, value: int) -> None:
+        for shard in self.shards:
+            shard.max_retries = value
+
+    # --------------------------------------------------- aggregate counters
+    class _Aggregate:
+        """Read-only sum of one counter across every shard."""
+
+        __slots__ = ("name", "_counters")
+
+        def __init__(self, name: str, counters):
+            self.name = name
+            self._counters = counters
+
+        @property
+        def count(self) -> int:
+            return sum(c.count for c in self._counters)
+
+        @property
+        def total(self) -> float:
+            return sum(c.total for c in self._counters)
+
+        def __repr__(self) -> str:
+            return f"<Aggregate {self.name}: n={self.count} total={self.total}>"
+
+    def _aggregate(self, attr: str) -> "BrokerCluster._Aggregate":
+        if len(self.shards) == 1:
+            return getattr(self.shards[0], attr)
+        return self._Aggregate(attr, [getattr(s, attr) for s in self.shards])
+
+    @property
+    def forwarded(self):
+        return self._aggregate("forwarded")
+
+    @property
+    def dropped_no_session(self):
+        return self._aggregate("dropped_no_session")
+
+    @property
+    def delivery_failures(self):
+        return self._aggregate("delivery_failures")
+
+    @property
+    def serviced_batches(self):
+        return self._aggregate("serviced_batches")
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BrokerCluster {self.host.name}:{self.port} "
+            f"shards={len(self.shards)} sessions={len(self.sessions)}>"
+        )

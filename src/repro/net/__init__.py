@@ -6,6 +6,7 @@ Protocol layers (:mod:`repro.mqttsn`, :mod:`repro.http`) build on these
 sockets exactly like their real counterparts build on the OS.
 """
 
+from .dispatcher import UdpShardDispatcher, VirtualSocket
 from .host import Host, PortInUse
 from .link import Link
 from .netem import NetworkConstraint, apply_constraints, parse_delay, parse_rate
@@ -29,6 +30,8 @@ __all__ = [
     "UDP_HEADER_BYTES",
     "TCP_HEADER_BYTES",
     "UdpSocket",
+    "UdpShardDispatcher",
+    "VirtualSocket",
     "TcpConnection",
     "TcpListener",
     "ConnectionRefused",

@@ -69,6 +69,45 @@ def test_records_flow_end_to_end():
     assert server.records_ingested.total == 8
 
 
+def test_records_flow_end_to_end_through_sharded_broker_plane():
+    """Same capture pipeline, 4 broker shards behind the one endpoint:
+    the devices and the translator pool notice nothing, every record
+    still lands in the backend (cross-shard relays included — the
+    wildcard translator is homed on one shard, devices on others)."""
+    env = Environment()
+    net = Network(env, seed=2)
+    cloud_dev = Device(env, XEON_GOLD_5220, name="cloud-dev")
+    net.add_host("cloud", device=cloud_dev)
+    sink = []
+    server = ProvLightServer(
+        net.hosts["cloud"], CallableBackend(sink.extend), broker_shards=4,
+    )
+    clients = []
+    for i in range(3):
+        dev = Device(env, A8M3, name=f"edge-dev-{i}")
+        net.add_host(f"edge-{i}", device=dev)
+        net.connect(f"edge-{i}", "cloud", bandwidth_bps=1e9, latency_s=0.023)
+        clients.append(
+            ProvLightClient(dev, server.endpoint, f"provlight/edge-{i}/data")
+        )
+
+    def scenario(env):
+        yield from server.add_translator("provlight/#")
+        for client in clients:
+            run_workflow(env, client, n_tasks=3)
+        yield env.timeout(60)
+
+    env.process(scenario(env))
+    env.run()
+    # per device: workflow begin/end + 3 x (task begin + end) = 8 records
+    assert server.records_ingested.total == 24
+    types = [r["type"] for r in sink]
+    assert types.count("dataflow") == 6
+    assert types.count("task") == 18
+    assert server.broker.delivery_failures.count == 0
+    assert len(server.broker.shards) == 4
+
+
 def test_task_records_carry_attributes_and_lineage():
     env, net, dev, server, client, sink = make_world()
 

@@ -137,3 +137,37 @@ def test_grouped_manager_clients():
     env.process(scenario(env))
     env.run()
     assert manager.records_ingested == 14
+
+
+def test_manager_with_sharded_broker_plane():
+    """The broker_shards knob reaches the server: capture still flows
+    end to end when the manager deploys a 2-shard broker cluster."""
+    env = Environment()
+    net = Network(env, seed=4)
+    devices = []
+    for i in range(2):
+        dev = Device(env, A8M3, name=f"edge-s{i}")
+        net.add_host(f"edge-s{i}", device=dev)
+        devices.append(dev)
+    manager = ProvenanceManager(net, broker_shards=2)
+    manager.connect_layer_to_server(
+        [d.name for d in devices], bandwidth_bps=1e9, latency_s=0.01
+    )
+    assert len(manager.server.broker.shards) == 2
+
+    def scenario(env):
+        for dev in devices:
+            client = yield from manager.deploy_client(dev)
+            wf = Workflow(f"wf-{dev.name}", client)
+            yield from wf.begin()
+            task = Task(0, wf)
+            yield from task.begin([Data("d0", wf.id, {"x": 1})])
+            yield from task.end([Data("d1", wf.id, {"y": 2})])
+            yield from wf.end(drain=True)
+        yield env.timeout(10)
+
+    env.process(scenario(env))
+    env.run()
+    # 2 devices x (wf begin/end + task begin/end) = 8 records
+    assert manager.records_ingested == 8
+    assert manager.server.broker.delivery_failures.count == 0

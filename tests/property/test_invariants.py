@@ -133,6 +133,73 @@ def test_plus_wildcard_matches_any_single_level(topic, position):
     assert topic_matches("/".join(pattern_levels), topic)
 
 
+# -- consistent hashing: resizing by one node remaps only ~1/K of keys --------
+
+
+ring_keys = [f"provlight/dev-{i}/data" for i in range(600)]
+
+
+@given(st.integers(min_value=1, max_value=12))
+@settings(max_examples=24, deadline=None)
+def test_hash_ring_grow_only_moves_keys_to_the_new_node(k):
+    """Adding node K to a K-node ring never reshuffles between the old
+    nodes: a key either keeps its owner or moves to the new node (the
+    property that makes pool/shard resizing cheap)."""
+    from repro.hashring import ConsistentHashRing
+
+    before = ConsistentHashRing(k, salt="worker")
+    after = ConsistentHashRing(k + 1, salt="worker")
+    moved = 0
+    for key in ring_keys:
+        old, new = before.node_for(key), after.node_for(key)
+        if old != new:
+            moved += 1
+            assert new == k  # only the new node gains keys
+    # ~1/(K+1) of keys move (crc32 + 32 virtual points wobbles, so allow
+    # a generous factor; the seed-style full reshuffle would move ~K/(K+1))
+    assert moved <= len(ring_keys) * 2.5 / (k + 1)
+    assert moved > 0  # the new node did take over some arcs
+
+
+@given(st.integers(min_value=1, max_value=12))
+@settings(max_examples=24, deadline=None)
+def test_hash_ring_shrink_only_reassigns_the_removed_nodes_keys(k):
+    from repro.hashring import ConsistentHashRing
+
+    big = ConsistentHashRing(k + 1, salt="shard")
+    small = ConsistentHashRing(k, salt="shard")
+    for key in ring_keys:
+        if big.node_for(key) != k:  # not on the removed node
+            assert small.node_for(key) == big.node_for(key)
+
+
+@given(st.sampled_from(ring_keys))
+@settings(max_examples=50, deadline=None)
+def test_translator_pool_and_broker_cluster_share_the_ring_scheme(key):
+    """The pool's topic sharding and the cluster's client-id sharding are
+    the same pure ring function — so both planes inherit the stability
+    properties proven above."""
+    from repro.core import CallableBackend, ProvLightServer
+    from repro.hashring import ConsistentHashRing
+    from repro.mqttsn import BrokerCluster
+    from repro.net import Network
+
+    env = Environment()
+    net = Network(env, seed=1)
+    net.add_host("cloud")
+    server = ProvLightServer(
+        net.hosts["cloud"], CallableBackend(lambda r: None),
+        workers=4, broker_shards=4, port=2000,
+    )
+    assert (
+        server.pool.worker_for(key)
+        is server.pool.workers[ConsistentHashRing(4, salt="worker").node_for(key)]
+    )
+    cluster = server.broker
+    assert isinstance(cluster, BrokerCluster)
+    assert cluster.shard_of(key) == ConsistentHashRing(4, salt="shard").node_for(key)
+
+
 # -- grouping: no record lost or duplicated for any group size ----------------
 
 
