@@ -7,14 +7,20 @@ and blocking HTTP/1.1 on TCP (what the baselines do).  Confirms the
 paper's argument that the *asynchronous UDP-based* transports are
 interchangeable for workflow overhead, while the blocking TCP path is
 the outlier.
+
+Every variant goes through the same :class:`repro.capture.CaptureClient`
+façade via registry lookup (``create_client`` + ``CaptureConfig``): the
+client-side critical path — cost charging, encoding, memory accounting,
+sender loop — is one code path, so the measured differences are
+attributable to the transport adapters alone.
 """
 
 import numpy as np
 from conftest import bench_repetitions, run_once
 
-from repro.coap import ProvLightCoapClient, ProvLightCoapServer
-from repro.baselines.ablations import SyncHttpProvLightClient
-from repro.core import CallableBackend, ProvLightClient, ProvLightServer
+from repro.capture import CaptureConfig, create_client
+from repro.coap import ProvLightCoapServer
+from repro.core import CallableBackend, ProvLightServer
 from repro.device import A8M3, Device
 from repro.http import HttpResponse, HttpServer
 from repro.metrics import mean_ci, render_table
@@ -33,20 +39,21 @@ def _run(transport: str, seed: int):
     net.add_host("cloud")
     net.connect("edge", "cloud", bandwidth_bps=1e9, latency_s=0.023)
     result = {}
+    capture = CaptureConfig(transport=transport)
 
     if transport == "http-blocking":
         HttpServer(net.hosts["cloud"], 5000, lambda r: HttpResponse(status=201))
-        client = SyncHttpProvLightClient(dev, ("cloud", 5000))
+        client = create_client(dev, ("cloud", 5000), "/provlight", capture)
         env.process(synthetic_workload(env, client, CONFIG,
                                        rng=np.random.default_rng(seed), result=result))
     elif transport == "coap":
         server = ProvLightCoapServer(net.hosts["cloud"], CallableBackend(lambda r: None))
-        client = ProvLightCoapClient(dev, server.endpoint)
+        client = create_client(dev, server.endpoint, "/prov", capture)
         env.process(synthetic_workload(env, client, CONFIG,
                                        rng=np.random.default_rng(seed), result=result))
     else:  # mqtt-sn
         server = ProvLightServer(net.hosts["cloud"], CallableBackend(lambda r: None))
-        client = ProvLightClient(dev, server.endpoint, "p/edge")
+        client = create_client(dev, server.endpoint, "p/edge", capture)
 
         def scenario(env):
             yield from server.add_translator("p/#")

@@ -9,10 +9,10 @@ document.
 Run with:  python examples/quickstart.py
 """
 
+from repro.capture import CaptureConfig, create_client
 from repro.core import (
     CallableBackend,
     Data,
-    ProvLightClient,
     ProvLightServer,
     Task,
     Workflow,
@@ -40,7 +40,11 @@ def main() -> None:
     # the default of 1 is the paper's one-broker deployment
     backend = DfAnalyzerService()
     server = ProvLightServer(net.hosts["cloud"], CallableBackend(backend.ingest))
-    client = ProvLightClient(edge, server.endpoint, "provlight/edge/data")
+    # the unified capture API: one declarative config selects transport x
+    # grouping x QoS (swap transport="coap" or "http" and nothing else
+    # changes — see docs/capture-api.md)
+    client = create_client(edge, server.endpoint, "provlight/edge/data",
+                           CaptureConfig(transport="mqttsn"))
 
     raw_records = []  # also keep the raw records for the PROV-DM rebuild
 

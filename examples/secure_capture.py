@@ -12,11 +12,11 @@ Run with:  python examples/secure_capture.py
 
 import numpy as np
 
+from repro.capture import CaptureConfig, create_client
 from repro.core import (
     CallableBackend,
     Data,
     PayloadCipher,
-    ProvLightClient,
     ProvLightServer,
     Task,
     Workflow,
@@ -42,21 +42,24 @@ def main() -> None:
         cipher=PayloadCipher(shared_key, rng=np.random.default_rng(1)),
     )
 
+    # the unified capture API threads the cipher through the config: the
+    # same CaptureConfig would work over any registered transport
     trusted_dev = Device(env, A8M3, name="trusted-edge")
     net.add_host("trusted", device=trusted_dev)
     net.connect("trusted", "cloud", bandwidth_bps=1e9, latency_s=0.023)
-    trusted = ProvLightClient(
+    trusted = create_client(
         trusted_dev, server.endpoint, "provlight/trusted",
-        cipher=PayloadCipher(shared_key, rng=np.random.default_rng(2)),
+        CaptureConfig(cipher=PayloadCipher(shared_key,
+                                           rng=np.random.default_rng(2))),
     )
 
     rogue_dev = Device(env, A8M3, name="rogue-edge")
     net.add_host("rogue", device=rogue_dev)
     net.connect("rogue", "cloud", bandwidth_bps=1e9, latency_s=0.023)
-    rogue = ProvLightClient(
+    rogue = create_client(
         rogue_dev, server.endpoint, "provlight/rogue",
-        cipher=PayloadCipher(derive_key("guessed-wrong"),
-                             rng=np.random.default_rng(3)),
+        CaptureConfig(cipher=PayloadCipher(derive_key("guessed-wrong"),
+                                           rng=np.random.default_rng(3))),
     )
 
     def run_device(env, client, label):

@@ -1,5 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 CI: the full test suite, then the quick perf regression gate.
+# Tier-1 CI: the full test suite, the example smoke tests, then the
+# quick perf regression gate.
+#
+# The examples are the library's public face (and the quickest thing a
+# user copies); executing every examples/*.py headlessly means an API
+# regression in a user-facing entry point fails the gate even if no
+# unit test covers that exact call pattern.
 #
 # The quick gate re-runs every microbenchmark with capped calibration
 # (~seconds, not minutes) and fails on >QUICK_THRESHOLD slowdowns
@@ -10,5 +16,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+
+for example in examples/*.py; do
+    echo "smoke: $example"
+    python "$example" > /dev/null
+done
+
 python scripts/run_benchmarks.py --quick

@@ -188,6 +188,13 @@ def headline(benchmarks: dict, sizes: dict) -> dict:
             out[f"broker_throughput_speedup_{shards}_shards_over_1"] = round(
                 tn / t1, 2
             )
+    # front-dispatcher bundling: datagrams amortized per shard bundle at
+    # the heaviest fan-in (8 shards) — 1.0 would mean no amortization
+    entry = benchmarks.get("test_cluster_publish_throughput[8]")
+    if entry:
+        per_bundle = entry.get("extra_info", {}).get("dispatch_datagrams_per_bundle")
+        if per_bundle:
+            out["dispatch_amortization_datagrams_per_bundle_8_shards"] = per_bundle
     g1 = sizes["grouped_50x10_v1_uncompressed_bytes"]
     g2 = sizes["grouped_50x10_v2_uncompressed_bytes"]
     out["grouped_uncompressed_size_reduction"] = round(1 - g2 / g1, 3)

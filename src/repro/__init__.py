@@ -4,6 +4,9 @@ the Edge-to-Cloud Continuum* (IEEE CLUSTER 2023).
 Public API shortcuts re-export the capture model and the main entry
 points; see the subpackages for the full surface:
 
+* :mod:`repro.capture` — the unified capture API (``CaptureConfig`` +
+  transport registry + ``CaptureClient`` façade over MQTT-SN, CoAP and
+  blocking HTTP);
 * :mod:`repro.core` — ProvLight itself (the paper's contribution);
 * :mod:`repro.baselines` — ProvLake/DfAnalyzer-style capture baselines;
 * :mod:`repro.dfanalyzer` — storage/query backend;
@@ -13,6 +16,7 @@ points; see the subpackages for the full surface:
   :mod:`repro.http`, :mod:`repro.device` — the simulated substrate.
 """
 
+from .capture import CaptureClient, CaptureConfig, create_client
 from .core import Data, ProvLightClient, ProvLightServer, Task, Workflow
 from .device import A8M3, XEON_GOLD_5220, Device
 from .net import Network
@@ -24,6 +28,9 @@ __all__ = [
     "Workflow",
     "Task",
     "Data",
+    "CaptureClient",
+    "CaptureConfig",
+    "create_client",
     "ProvLightClient",
     "ProvLightServer",
     "Device",

@@ -19,56 +19,46 @@ the ablation benchmark can toggle them one at a time:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict
 
-from ..calibration import MEMORY_FOOTPRINTS, PROVLAKE_COSTS, PROVLIGHT_COSTS
-from ..core.client import ProvLightClient, count_attributes_from_record
-from ..core.serialization import encode_payload
+from ..calibration import MEMORY_FOOTPRINTS, PROVLAKE_COSTS
+from ..capture import CaptureClient, CaptureConfig
+from ..core.client import ProvLightClient
+from ..core.model import count_attributes_from_record
 from ..device import Device
 from ..net import Endpoint
-from .common import BlockingHttpCaptureClient
+from .common import HttpPostCaptureTransport
 
 __all__ = ["SyncHttpProvLightClient", "VerboseModelProvLightClient"]
 
 
-class SyncHttpProvLightClient(BlockingHttpCaptureClient):
+class SyncHttpProvLightClient(CaptureClient):
     """ProvLight's compact payloads over the baselines' blocking HTTP.
 
-    Client-side record building keeps ProvLight's cheap simplified-model
-    costs; what changes is the transport: one synchronous request/response
-    cycle per message over TCP, paying connection latency on the workflow's
-    critical path.  The measured gap to real ProvLight is the *protocol*
-    contribution.
+    A shim constructing the shared façade with the ``http`` transport:
+    client-side record building, encoding and memory accounting keep
+    ProvLight's cheap simplified-model costs; what changes is the
+    transport: one synchronous request/response cycle per message over
+    TCP, paying connection latency on the workflow's critical path.  The
+    measured gap to real ProvLight is the *protocol* contribution.
     """
-
-    system_name = "provlight-sync-http"
 
     def __init__(self, device: Device, server: Endpoint,
                  path: str = "/provlight", compress: bool = True):
-        self.compress = compress
-        super().__init__(
-            device, server, path,
-            lib_bytes=MEMORY_FOOTPRINTS.provlight_lib_bytes,
-            group_size=0,
+        config = CaptureConfig(transport="http", compress=compress)
+        transport = HttpPostCaptureTransport(
+            device, server, path=path,
+            user_agent="provlight-sync-http-capture/1.0",
         )
+        super().__init__(device, server, path, config, transport=transport)
+        # wire counters under the baseline-family names
+        self.requests_sent = self.transport.requests_sent
+        self.body_bytes = self.transport.body_bytes
+        self.capture_errors = self.transport.capture_errors
 
     def supports_grouping(self) -> bool:
+        # the ablation isolates the transport; grouping stays off
         return False
-
-    def build_cost_s(self, n_attrs: int) -> float:
-        # same simplified-model record building as the real client
-        costs = PROVLIGHT_COSTS
-        return costs.inline_fixed_compute_s + costs.inline_per_attr_compute_s * n_attrs
-
-    def flush_compute_cost_s(self, records: List[Dict[str, Any]]) -> float:
-        return 0.0  # serialization already charged in build_cost_s
-
-    def flush_io_wait_s(self) -> float:
-        return PROVLIGHT_COSTS.inline_io_s
-
-    def render_body(self, records: List[Dict[str, Any]]) -> bytes:
-        payload = records[0] if len(records) == 1 else records
-        return encode_payload(payload, compress=self.compress)
 
 
 class VerboseModelProvLightClient(ProvLightClient):
@@ -99,7 +89,8 @@ class VerboseModelProvLightClient(ProvLightClient):
         yield from super().capture(verbose, groupable=groupable)
 
     def close(self) -> None:
-        self.device.memory.free(self._extra_static, tag="capture-static")
+        if not self.closed:  # close() is idempotent; free the extra once
+            self.device.memory.free(self._extra_static, tag="capture-static")
         super().close()
 
 

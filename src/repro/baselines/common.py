@@ -7,6 +7,14 @@ keep-alive TCP connection.  The workflow thread is stalled for the whole
 serialize + transmit + server + response cycle — the root cause of the
 Table II overheads.
 
+The wire mechanics of that pattern (the keep-alive session, the error
+swallowing, the radio-listen energy accounting) live in one place:
+:class:`HttpPostCaptureTransport`, which doubles as the registered
+``http`` transport of the unified capture API — so the baselines here,
+the ``SyncHttpProvLightClient`` ablation and
+``create_client(..., transport="http")`` all exercise the same blocking
+POST path.
+
 The classes here also define the uniform capture-client interface that
 lets one instrumented workload run against any capture system (ProvLight,
 the baselines, or no capture at all):
@@ -19,16 +27,24 @@ the baselines, or no capture at all):
 
 from __future__ import annotations
 
-import json
 from typing import Any, Dict, List, Optional
 
-from ..core.client import count_attributes_from_record
+from ..capture import CaptureConfig, CaptureTransport, register_transport
+from ..core.model import count_attributes_from_record
 from ..device import Device
 from ..http import HttpRequestError, HttpSession
 from ..net import Endpoint
 from ..simkernel import Counter
 
-__all__ = ["NullCaptureClient", "BlockingHttpCaptureClient", "iso_time"]
+__all__ = [
+    "NullCaptureClient",
+    "BlockingHttpCaptureClient",
+    "HttpPostCaptureTransport",
+    "iso_time",
+]
+
+#: collector resource the ``http`` capture transport POSTs to by default
+DEFAULT_HTTP_CAPTURE_PATH = "/provlight"
 
 
 def iso_time(seconds: float) -> str:
@@ -39,6 +55,82 @@ def iso_time(seconds: float) -> str:
     m, s = divmod(s, 60)
     h, m = divmod(m, 60)
     return f"2023-01-17T{h:02d}:{m:02d}:{s:02d}.{ms:03d}Z"
+
+
+class HttpPostCaptureTransport(CaptureTransport):
+    """Blocking HTTP/1.1 POST capture transport (the baselines' wire).
+
+    ``blocking = True``: the façade awaits every ``send()`` on the
+    workflow's critical path, reproducing the synchronous
+    request/response stall of the real ProvLake/DfAnalyzer libraries.
+    Request errors are counted, never raised — like the real libraries,
+    capture failure must not crash the instrumented application.
+    """
+
+    name = "http"
+    blocking = True
+    requires_setup = False
+
+    def __init__(self, device: Device, server: Endpoint, topic: str = "",
+                 config: Optional[CaptureConfig] = None,
+                 path: Optional[str] = None,
+                 user_agent: str = "provlight-http-capture/1.0"):
+        self.device = device
+        self.env = device.env
+        self.server = server
+        if path is None:
+            path = topic if topic.startswith("/") else DEFAULT_HTTP_CAPTURE_PATH
+        self.path = path
+        self.session = HttpSession(device.host, user_agent=user_agent)
+        self.requests_sent = Counter("requests")
+        self.body_bytes = Counter("body-bytes")
+        self.capture_errors = Counter("errors")
+
+    def connect(self):
+        """Nothing to pre-establish: the first POST dials the server."""
+        return None
+        yield  # pragma: no cover - generator shape
+
+    def register(self, topic: str):
+        return self.path
+        yield  # pragma: no cover - generator shape
+
+    def send(self, body: bytes):
+        """POST ``body``; the returned event completes with the response
+        (and always succeeds — errors land in ``capture_errors``)."""
+        done = self.env.event()
+        self.env.process(self._post(body, done),
+                         name=f"http-capture-post-{self.path}")
+        return done
+
+    def _post(self, body: bytes, done):
+        self.body_bytes.record(len(body))
+        energy = self.device.energy
+        if energy is not None:
+            energy.rx_listen_start()
+        try:
+            response = yield from self.session.post(self.server, self.path, body)
+            if not response.ok:
+                self.capture_errors.record()
+        except HttpRequestError:
+            # like the real libraries: log and carry on, never crash the
+            # instrumented application
+            self.capture_errors.record()
+        finally:
+            # an unexpected exception still unblocks the waiting capture
+            # call (the failed post process surfaces it loudly); a parked
+            # workflow would be strictly worse than a visible error
+            if energy is not None:
+                energy.rx_listen_stop()
+            self.requests_sent.record()
+            if not done.triggered:
+                done.succeed()
+
+    def disconnect(self) -> None:
+        self.session.close()
+
+
+register_transport("http", HttpPostCaptureTransport)
 
 
 class NullCaptureClient:
@@ -81,7 +173,9 @@ class BlockingHttpCaptureClient:
     """Base class for the ProvLake/DfAnalyzer-style capture libraries.
 
     Subclasses define the cost constants, the JSON wire format (envelope +
-    per-record rendering) and whether grouping is supported.
+    per-record rendering) and whether grouping is supported.  The wire
+    I/O itself goes through :class:`HttpPostCaptureTransport`, the same
+    adapter the unified capture API registers as ``http``.
     """
 
     #: subclasses: human name for diagnostics
@@ -108,14 +202,20 @@ class BlockingHttpCaptureClient:
         self.server = server
         self.path = path
         self.group_size = group_size
-        self.session = HttpSession(device.host, user_agent=f"{self.system_name}-capture/1.0")
+        self.transport = HttpPostCaptureTransport(
+            device, server, path=path,
+            user_agent=f"{self.system_name}-capture/1.0",
+        )
+        self.session = self.transport.session
         self._buffer: List[Dict[str, Any]] = []
         self._lib_bytes = lib_bytes
         device.memory.allocate(lib_bytes, tag="capture-static")
         self.records_captured = Counter("records")
-        self.requests_sent = Counter("requests")
-        self.body_bytes = Counter("body-bytes")
-        self.capture_errors = Counter("errors")
+        # wire counters are owned by the transport; exposed here under the
+        # historical names
+        self.requests_sent = self.transport.requests_sent
+        self.body_bytes = self.transport.body_bytes
+        self.capture_errors = self.transport.capture_errors
 
     # -- interface hooks for subclasses -------------------------------------
     def supports_grouping(self) -> bool:
@@ -169,7 +269,7 @@ class BlockingHttpCaptureClient:
         yield  # pragma: no cover
 
     def close(self) -> None:
-        self.session.close()
+        self.transport.disconnect()
         self.device.memory.free(self._lib_bytes, tag="capture-static")
 
     # -- internals ---------------------------------------------------------------
@@ -185,23 +285,7 @@ class BlockingHttpCaptureClient:
             io_wait_s=self.flush_io_wait_s(),
             tag="capture",
         )
-        body = self.render_body(records)
-        self.body_bytes.record(len(body))
-        energy = self.device.energy
-        if energy is not None:
-            energy.rx_listen_start()
-        try:
-            response = yield from self.session.post(self.server, self.path, body)
-            if not response.ok:
-                self.capture_errors.record()
-        except HttpRequestError:
-            # like the real libraries: log and carry on, never crash the
-            # instrumented application
-            self.capture_errors.record()
-        finally:
-            if energy is not None:
-                energy.rx_listen_stop()
-        self.requests_sent.record()
+        yield self.transport.send(self.render_body(records))
 
 
 def _record_footprint(record: Dict[str, Any]) -> int:

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..calibration import MS, SERVER_COSTS
-from ..core.client import count_attributes_from_record
+from ..core.model import count_attributes_from_record
 from ..core.serialization import encode_value
 from ..device import Device
 from ..simkernel import Counter

@@ -17,7 +17,7 @@ import json
 from typing import Any, Dict, List
 
 from ..calibration import MEMORY_FOOTPRINTS, PROVLAKE_COSTS, ProvLakeCosts
-from ..core.client import count_attributes_from_record
+from ..core.model import count_attributes_from_record
 from ..device import Device
 from ..net import Endpoint
 from .common import BlockingHttpCaptureClient, iso_time

@@ -137,13 +137,20 @@ class ServerCosts:
     #: so draining N queued packets costs ``batch_fixed + N * per_packet``
     #: instead of N full wakeups — the batching win Table IX leans on.
     broker_batch_fixed_s: float = 0.02 * MS
-    #: Sharded broker plane: per-datagram cost of the front dispatcher
-    #: (epoll return, header peek, queue push to the owning shard) and of
-    #: one inter-shard relay hop.  An order of magnitude below
-    #: ``broker_per_packet_s``: the dispatcher never parses past the
-    #: message-type octet, so shard counts scale throughput until this
-    #: serial front cost dominates (Amdahl bound ~10x).
+    #: Sharded broker plane: fixed cost of handing one per-shard *bundle*
+    #: of datagrams to its owning shard (queue push + shard wakeup), also
+    #: charged per inter-shard relay hop.  The dispatcher drains its
+    #: socket in batches and forwards one bundle per shard per wakeup, so
+    #: a batch of N datagrams bound for K shards costs
+    #: ``K * dispatch_fixed + N * dispatch_per_datagram`` instead of N
+    #: full dispatches — amortizing the fixed cost raises the serial
+    #: front plane's Amdahl ceiling well past the previous ~10x.
     broker_dispatch_fixed_s: float = 0.005 * MS
+    #: Marginal per-datagram dispatcher cost (header peek + append to an
+    #: already-open bundle).  An order of magnitude below
+    #: ``broker_per_packet_s``: the dispatcher never parses past the
+    #: message-type octet.
+    broker_dispatch_per_datagram_s: float = 0.001 * MS
     #: Translator: decompress + translate one ProvLight message.
     translate_per_message_s: float = 0.9 * MS
     #: Translator: fixed extra for a grouped payload (paper: ~5 ms total).

@@ -1,0 +1,51 @@
+"""``repro.capture`` — the unified capture API (single public surface).
+
+The paper's capture library, factored so that one declarative
+:class:`CaptureConfig` selects transport x grouping x QoS x cipher and
+one :class:`CaptureClient` façade owns the client-side critical path for
+every transport::
+
+    from repro.capture import CaptureConfig, create_client
+
+    client = create_client(device, server.endpoint, "provlight/edge/data",
+                           CaptureConfig(transport="mqttsn", group_size=10))
+    yield from client.setup()
+    ...             # Workflow/Task/Data instrument against this client
+    client.close()
+
+Built-in transports: ``mqttsn`` (the paper's asynchronous MQTT-SN QoS 2
+client), ``coap`` (confirmable CoAP POST) and ``http`` (the baselines'
+blocking HTTP/1.1 POST).  Adding one is three steps — subclass
+:class:`CaptureTransport`, write a factory, call
+:func:`register_transport` — see ``docs/capture-api.md``.
+"""
+
+from .client import CaptureClient, CaptureClosedError
+from .config import DEFAULT_TRANSPORT, CaptureConfig
+from .registry import (
+    create_client,
+    create_transport,
+    get_transport_factory,
+    normalize_transport,
+    register_transport,
+    transport_names,
+    unregister_transport,
+)
+from .sinks import deploy_capture_sink
+from .transport import CaptureTransport
+
+__all__ = [
+    "CaptureClient",
+    "CaptureClosedError",
+    "CaptureConfig",
+    "CaptureTransport",
+    "DEFAULT_TRANSPORT",
+    "create_client",
+    "create_transport",
+    "deploy_capture_sink",
+    "get_transport_factory",
+    "normalize_transport",
+    "register_transport",
+    "transport_names",
+    "unregister_transport",
+]

@@ -1,0 +1,306 @@
+"""The transport-agnostic capture client façade.
+
+This owns the paper's client-side critical path exactly once — the
+calibrated attribute-cost charging, ended-task grouping, binary
+encoding + compression, per-message memory accounting, the background
+sender loop and the ``flush_groups()/drain()/close()`` semantics — and
+delegates only the wire to a pluggable
+:class:`~repro.capture.CaptureTransport`.  The MQTT-SN, CoAP and
+blocking-HTTP capture clients are thin shims over this class, so any
+measured difference between them is attributable to the protocol alone
+(the design property behind the protocol-comparison benchmark).
+
+Blocking transports (``transport.blocking``) are serviced inline: each
+send is awaited on the workflow's critical path, reproducing the
+baselines' Table II/III behaviour.  Asynchronous transports hand
+payloads to a background sender process, which is what keeps ProvLight's
+capture calls flat across bandwidths (Tables VII/VIII).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..simkernel import Counter, Store
+from .config import CaptureConfig
+from .transport import CaptureTransport
+
+__all__ = ["CaptureClient", "CaptureClosedError"]
+
+#: queue sentinel that tells the background sender loop to exit
+_CLOSE = object()
+
+# Late-bound repro.core imports: core.client subclasses CaptureClient, so
+# importing core here at module time would be circular whichever package
+# is imported first.  Bound once, at the first client construction.
+_core_loaded = False
+_GroupBuffer = None
+_encode_payload = None
+_count_attributes_from_record = None
+
+
+def _load_core() -> None:
+    global _core_loaded, _GroupBuffer, _encode_payload, _count_attributes_from_record
+    if _core_loaded:
+        return
+    from ..core.grouping import GroupBuffer
+    from ..core.model import count_attributes_from_record
+    from ..core.serialization import encode_payload
+
+    _GroupBuffer = GroupBuffer
+    _encode_payload = encode_payload
+    _count_attributes_from_record = count_attributes_from_record
+    _core_loaded = True
+
+
+class CaptureClosedError(RuntimeError):
+    """The capture client was closed; pending drains fail with this."""
+
+
+class CaptureClient:
+    """Capture client bound to one device, shipping to one topic.
+
+    Build instances through :func:`repro.capture.create_client` (or a
+    compatibility shim like ``ProvLightClient``); passing an explicit
+    ``transport`` bypasses the registry, which the shims use to expose
+    protocol-specific knobs.
+    """
+
+    def __init__(
+        self,
+        device,
+        server,
+        topic: str,
+        config: Optional[CaptureConfig] = None,
+        transport: Optional[CaptureTransport] = None,
+    ):
+        _load_core()
+        if device.host is None:
+            raise RuntimeError(
+                f"device {device.name} is not attached to a network host"
+            )
+        self.config = config = config or CaptureConfig()
+        self.device = device
+        self.env = device.env
+        self.server = server
+        self.topic = topic
+        self.qos = config.qos
+        self.compress = config.compress
+        self.cipher = config.cipher
+        self.costs = config.costs
+        self.footprints = config.footprints
+        self.group_buffer = _GroupBuffer(config.group_size)
+        if transport is None:
+            from .registry import create_transport
+
+            transport = create_transport(device, server, topic, config)
+        self.transport = transport
+        self.handle: Any = None
+        self._ready = False
+        self._closed = False
+        self._queue: Store = Store(self.env)
+        self._outstanding = 0
+        self._drain_waiters: List = []
+        self.messages_sent = Counter("messages")
+        self.payload_bytes = Counter("payload-bytes")
+        self.records_captured = Counter("records")
+        device.memory.allocate(config.footprints.provlight_lib_bytes,
+                               tag="capture-static")
+        self._sender = None
+        if not transport.blocking:
+            self._sender = self.env.process(
+                self._sender_loop(), name=f"capture-sender-{self.topic}"
+            )
+
+    # ------------------------------------------------------------------ API
+    @property
+    def now(self) -> float:
+        """Simulated clock (used by model classes for record timestamps)."""
+        return self.env.now
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def setup(self):
+        """Generator: establish the transport and announce the topic.
+
+        Idempotent: a client that is already set up returns immediately,
+        so deployment frameworks can hand out ready clients and
+        workloads can still call ``setup()`` unconditionally.
+        """
+        self._check_open()
+        if self._ready:
+            return self
+        yield from self.transport.connect()
+        self.handle = yield from self.transport.register(self.topic)
+        self._ready = True
+        return self
+
+    def capture(self, record: Dict[str, Any], groupable: bool = True):
+        """Generator: capture one record (called by the model classes).
+
+        Charges calibrated inline costs, produces the real payload bytes
+        and hands them to the transport.  For asynchronous transports
+        this returns as soon as the record is queued — that is the
+        *entire* workflow-visible cost; blocking transports additionally
+        stall for their request/response cycle, like the real baseline
+        libraries.
+        """
+        self._check_open()
+        if not self._ready and self.transport.requires_setup:
+            raise RuntimeError("capture before setup()")
+        self.records_captured.record()
+        n_attrs = _count_attributes_from_record(record)
+        costs = self.costs
+        cpu_run = self.device.cpu.run
+        if groupable and self.group_buffer.enabled:
+            yield from cpu_run(
+                compute_s=costs.buffered_fixed_compute_s
+                + costs.buffered_per_attr_compute_s * n_attrs,
+                io_wait_s=costs.buffered_io_s,
+                tag="capture",
+            )
+            group = self.group_buffer.add(record)
+            if group is not None:
+                yield from self._flush_group(group)
+        else:
+            yield from cpu_run(
+                compute_s=costs.inline_fixed_compute_s
+                + costs.inline_per_attr_compute_s * n_attrs,
+                io_wait_s=costs.inline_io_s,
+                tag="capture",
+            )
+            yield from self._dispatch(
+                _encode_payload(record, compress=self.compress, cipher=self.cipher)
+            )
+
+    def flush_groups(self):
+        """Generator: force out a partial group (workflow end)."""
+        group = self.group_buffer.flush()
+        if group is not None:
+            yield from self._flush_group(group)
+        return None
+        yield  # pragma: no cover - make this a generator even when empty
+
+    def drain(self):
+        """Generator: wait until every in-flight message completed its
+        delivery contract.  Diagnostic/teardown helper; the paper's
+        overhead metric intentionally does not include this wait.
+
+        Raises :class:`CaptureClosedError` on a closed client — both
+        when called after ``close()`` (a post-close drain would never
+        resolve: the sender is gone) and when the client is closed while
+        the drain is pending.
+        """
+        self._check_open()
+        if self._outstanding == 0 and not self._queue.items:
+            return
+        event = self.env.event()
+        self._drain_waiters.append(event)
+        yield event
+
+    def close(self) -> None:
+        """Tear down: stop the sender, free pending buffers, fail any
+        ``drain()`` waiters, disconnect and release the static memory.
+
+        Idempotent.  Queued-but-unsent payloads are dropped (their
+        ``capture-buffers`` allocations freed); a message the transport
+        already holds in flight completes or times out in the background
+        and releases its buffer then.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for item in self._queue.drain_pending():
+            if item is _CLOSE:
+                continue
+            _, nbytes = item
+            self.device.memory.free(nbytes, tag="capture-buffers")
+            self._outstanding -= 1
+        if self._sender is not None:
+            self._queue.put(_CLOSE)
+        waiters, self._drain_waiters = self._drain_waiters, []
+        for event in waiters:
+            event.fail(CaptureClosedError(
+                f"capture client for topic {self.topic!r} closed with "
+                "messages outstanding"
+            ))
+        self.transport.disconnect()
+        self.device.memory.free(
+            self.footprints.provlight_lib_bytes, tag="capture-static"
+        )
+
+    # ------------------------------------------------------------- internals
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CaptureClosedError(
+                f"capture client for topic {self.topic!r} is closed"
+            )
+
+    def _flush_group(self, group: List[Dict[str, Any]]):
+        costs = self.costs
+        yield from self.device.cpu.run(
+            compute_s=costs.group_flush_fixed_compute_s
+            + costs.group_flush_per_record_compute_s * len(group),
+            io_wait_s=costs.group_flush_io_s,
+            tag="capture",
+        )
+        yield from self._dispatch(
+            _encode_payload(group, compress=self.compress, cipher=self.cipher)
+        )
+
+    def _dispatch(self, payload: bytes):
+        """Generator: account for one outbound payload and ship it —
+        queued for the sender loop, or awaited inline when the transport
+        blocks."""
+        nbytes = len(payload) + self.footprints.per_message_overhead_bytes
+        self.device.memory.allocate(nbytes, tag="capture-buffers")
+        self._outstanding += 1
+        if not self.transport.blocking:
+            self._queue.put((payload, nbytes))
+            return
+        done = self.transport.send(payload)
+        try:
+            yield done
+        except Exception:
+            # delivery failed; the record is lost but capture must never
+            # crash the workflow
+            pass
+        self._complete(payload, nbytes)
+
+    def _complete(self, payload: bytes, nbytes: int) -> None:
+        self.messages_sent.record()
+        self.payload_bytes.record(len(payload))
+        self.device.memory.free(nbytes, tag="capture-buffers")
+        self._outstanding -= 1
+        if self._outstanding == 0 and not self._queue.items:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for event in waiters:
+                event.succeed()
+
+    def _sender_loop(self):
+        while True:
+            item = yield self._queue.get()
+            if item is _CLOSE:
+                return
+            payload, nbytes = item
+            done = self.transport.send(payload)
+            # delivery bookkeeping (QoS handshakes, retransmissions) runs
+            # on a background thread: busy CPU, but off the workflow path
+            self.device.cpu.run_async(
+                io_busy_s=self.costs.async_per_message_io_s, tag="capture"
+            )
+            try:
+                yield done
+            except Exception:
+                # delivery contract exhausted its retries; the record is
+                # lost but capture must never crash the workflow.
+                pass
+            self._complete(payload, nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CaptureClient {self.transport.name}:{self.topic} "
+            f"on {self.device.name}>"
+        )

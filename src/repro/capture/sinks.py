@@ -1,0 +1,71 @@
+"""Capture-*sink* deployment shared by the harness and E2Clab.
+
+``create_client`` picks the device-side transport; something on the
+cloud side still has to terminate it.  The MQTT-SN sink is the full
+:class:`~repro.core.server.ProvLightServer` (broker + translator pool)
+whose knobs the callers own, but the CoAP server and the blocking-HTTP
+collector are boilerplate — a translator feeding an ingest callable —
+that the experiment harness and the Provenance Manager would otherwise
+each hand-roll.  :func:`deploy_capture_sink` builds them once, so a new
+transport's sink is added here, next to the registry that names it.
+
+Imports are deferred: the protocol stacks import :mod:`repro.capture`
+for their adapters, so importing them at module time would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from .registry import normalize_transport
+
+__all__ = ["deploy_capture_sink"]
+
+#: default port of the blocking-HTTP capture collector
+DEFAULT_HTTP_SINK_PORT = 5000
+
+
+def deploy_capture_sink(
+    transport: str,
+    host,
+    ingest: Callable,
+    target: str = "dfanalyzer",
+    http_port: int = DEFAULT_HTTP_SINK_PORT,
+    http_workers: int = 1,
+) -> Tuple[object, Tuple[str, int]]:
+    """Deploy the capture sink for ``transport`` on ``host``.
+
+    ``ingest`` is the backend callable translated records are fed to.
+    Returns ``(server, endpoint)`` where ``endpoint`` is what
+    :func:`~repro.capture.create_client` takes as ``server``.  The
+    ``mqttsn`` sink is *not* built here — construct a
+    :class:`~repro.core.server.ProvLightServer` directly (its worker and
+    shard knobs belong to the deployment).
+    """
+    transport = normalize_transport(transport)
+    if transport == "coap":
+        from ..coap import ProvLightCoapServer
+        from ..core.server import CallableBackend
+
+        server = ProvLightCoapServer(host, CallableBackend(ingest), target=target)
+        return server, server.endpoint
+    if transport == "http":
+        from ..core.translator import Translator
+        from ..http import HttpResponse, HttpServer
+
+        translator = Translator(target)
+
+        def collector(request):
+            try:
+                _, translated = translator.translate_payload(request.body)
+                ingest(translated)
+            except Exception:
+                pass  # capture loss must not crash the collector
+            return HttpResponse(status=201, reason="Created")
+
+        server = HttpServer(host, http_port, collector, workers=http_workers)
+        return server, (host.name, http_port)
+    raise ValueError(
+        f"no capture sink known for transport {transport!r} "
+        "(mqttsn sinks are a ProvLightServer; see repro.capture.sinks)"
+    )

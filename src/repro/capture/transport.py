@@ -1,0 +1,84 @@
+"""The transport protocol behind the unified capture API.
+
+A *transport* is the thin, protocol-specific layer between the shared
+:class:`~repro.capture.CaptureClient` critical path and the wire: it
+knows how to establish a session, announce a topic, ship one opaque
+payload, and tear down.  Everything else — cost charging, grouping,
+encoding, memory accounting, drain semantics — lives in the façade and
+is written exactly once.
+
+Concrete adapters live next to the protocol stacks they wrap:
+
+* ``mqttsn`` — :class:`repro.core.client.MqttSnCaptureTransport`
+  (the paper's choice: asynchronous QoS publish over UDP);
+* ``coap`` — :class:`repro.coap.transport.CoapCaptureTransport`
+  (confirmable POST, RFC 7252);
+* ``http`` — :class:`repro.baselines.common.HttpPostCaptureTransport`
+  (the baselines' blocking HTTP/1.1 POST; ``blocking = True``).
+
+New transports subclass :class:`CaptureTransport` and register a factory
+with :func:`repro.capture.register_transport`; see
+``docs/capture-api.md`` for a worked example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["CaptureTransport"]
+
+
+class CaptureTransport:
+    """Protocol every capture transport implements.
+
+    ``connect()`` and ``register()`` are generators (they may wait on
+    simulated network exchanges); ``send()`` is synchronous and returns
+    a completion :class:`~repro.simkernel.Event` so the caller decides
+    whether to wait.  The façade consults two class flags:
+
+    * ``blocking`` — ``True`` means every ``send()`` must be awaited on
+      the workflow's critical path (the baselines' HTTP transport);
+      ``False`` means sends are queued to the background sender loop.
+    * ``requires_setup`` — ``True`` means ``capture()`` before
+      ``setup()`` is a programming error (MQTT-SN needs its topic
+      registered); connectionless transports set ``False``.
+    """
+
+    #: registry name of this transport (diagnostics)
+    name: str = "abstract"
+    #: True: capture() waits for each send on the workflow's critical path
+    blocking: bool = False
+    #: True: the client must run setup() before the first capture()
+    requires_setup: bool = True
+
+    def connect(self):
+        """Generator: establish the transport session (idempotence is
+        handled by the façade — this is called at most once)."""
+        return None
+        yield  # pragma: no cover - generator shape
+
+    def register(self, topic: str):
+        """Generator: announce ``topic``; returns a transport handle
+        (topic id, path, ...) or ``None``."""
+        return None
+        yield  # pragma: no cover - generator shape
+
+    def send(self, payload: bytes):
+        """Ship one opaque payload; returns the completion event.
+
+        The event may *fail* (QoS retries exhausted, server missing).
+        The façade swallows the failure — capture loss must never crash
+        the instrumented workflow — so transports are free to surface
+        delivery errors through it.
+        """
+        raise NotImplementedError
+
+    def disconnect(self) -> None:
+        """Tear down the session (fire and forget)."""
+
+    def describe(self) -> str:
+        mode = "blocking" if self.blocking else "async"
+        return f"{self.name} ({mode})"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"

@@ -1,21 +1,18 @@
 """ProvLight capture over CoAP instead of MQTT-SN.
 
 Same design properties as the MQTT-SN client (asynchronous background
-sender, binary+zlib payloads, ended-task grouping), but the transport is
-a confirmable CoAP POST per message: a 2-packet CON/ACK exchange versus
-MQTT-SN QoS 2's 4-packet handshake — at-least-once with server-side
-deduplication versus exactly-once.  The protocol-comparison benchmark
-quantifies the trade.
+sender, binary+zlib payloads, ended-task grouping — all owned by the
+shared :class:`~repro.capture.CaptureClient` façade), but the transport
+is a confirmable CoAP POST per message: a 2-packet CON/ACK exchange
+versus MQTT-SN QoS 2's 4-packet handshake — at-least-once with
+server-side deduplication versus exactly-once.  The protocol-comparison
+benchmark quantifies the trade.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
-
-from ..calibration import MEMORY_FOOTPRINTS, PROVLIGHT_COSTS, SERVER_COSTS
-from ..core.client import count_attributes_from_record
-from ..core.grouping import GroupBuffer
-from ..core.serialization import encode_payload
+from ..calibration import SERVER_COSTS
+from ..capture import CaptureClient, CaptureConfig, CaptureTransport, register_transport
 from ..core.translator import Translator
 from ..device import Device
 from ..net import Endpoint, Host
@@ -23,7 +20,15 @@ from ..simkernel import Counter, Store
 from .endpoint import DEFAULT_COAP_PORT, CoapClient, CoapServer
 from .messages import CODE_CHANGED
 
-__all__ = ["ProvLightCoapClient", "ProvLightCoapServer"]
+__all__ = [
+    "ProvLightCoapClient",
+    "ProvLightCoapServer",
+    "CoapCaptureTransport",
+    "DEFAULT_CAPTURE_PATH",
+]
+
+#: resource the capture server exposes and clients POST to by default
+DEFAULT_CAPTURE_PATH = "/prov"
 
 
 class ProvLightCoapServer:
@@ -39,7 +44,7 @@ class ProvLightCoapServer:
         self.records_ingested = Counter("records")
         self.translate_errors = Counter("errors")
         self._inbox: Store = Store(self.env)
-        self.server.route("/prov", self._on_post)
+        self.server.route(DEFAULT_CAPTURE_PATH, self._on_post)
         self.env.process(self._work_loop(), name="coap-prov-translator")
 
     @property
@@ -72,12 +77,49 @@ class ProvLightCoapServer:
             self.records_ingested.record(len(records))
 
 
-class ProvLightCoapClient:
+class CoapCaptureTransport(CaptureTransport):
+    """Capture over confirmable CoAP POSTs.
+
+    ``send()`` is :meth:`~repro.coap.CoapClient.post_nowait`: the CON
+    retransmission machinery runs in the CoAP client's receive loop, off
+    the workflow's critical path.  CoAP is connectionless, so there is
+    nothing to establish and capture may begin before ``setup()``.
+    """
+
+    name = "coap"
+    blocking = False
+    requires_setup = False
+
+    def __init__(self, device: Device, server: Endpoint, topic: str,
+                 config: CaptureConfig):
+        self.coap = CoapClient(device.host, server)
+        # topics map onto the resource path; MQTT-style topic names keep
+        # the server's default capture resource
+        self.path = topic if topic.startswith("/") else DEFAULT_CAPTURE_PATH
+
+    def connect(self):
+        """CoAP is connectionless: nothing to establish."""
+        return None
+        yield  # pragma: no cover - generator shape
+
+    def register(self, topic: str):
+        return self.path
+        yield  # pragma: no cover - generator shape
+
+    def send(self, payload: bytes):
+        return self.coap.post_nowait(self.path, payload)
+
+
+register_transport("coap", CoapCaptureTransport)
+
+
+class ProvLightCoapClient(CaptureClient):
     """The ProvLight capture client with a CoAP transport.
 
-    Implements the standard capture-client interface; costs and grouping
-    behaviour are identical to the MQTT-SN client so any difference in an
-    experiment is attributable to the protocol alone.
+    Compatibility shim constructing the shared façade with the ``coap``
+    transport; costs and grouping behaviour are identical to the MQTT-SN
+    client so any difference in an experiment is attributable to the
+    protocol alone.
     """
 
     def __init__(
@@ -87,111 +129,22 @@ class ProvLightCoapClient:
         group_size: int = 0,
         compress: bool = True,
         cipher=None,
-        costs=PROVLIGHT_COSTS,
+        costs=None,
     ):
-        if device.host is None:
-            raise RuntimeError(f"device {device.name} is not attached to a network host")
-        self.device = device
-        self.env = device.env
-        self.compress = compress
-        self.cipher = cipher
-        self.costs = costs
-        self.group_buffer = GroupBuffer(group_size)
-        self.coap = CoapClient(device.host, server)
-        self._queue: Store = Store(self.env)
-        self._outstanding = 0
-        self._drain_waiters: List = []
-        self.messages_sent = Counter("messages")
-        self.payload_bytes = Counter("payload-bytes")
-        self.records_captured = Counter("records")
-        device.memory.allocate(
-            MEMORY_FOOTPRINTS.provlight_lib_bytes, tag="capture-static"
+        config = CaptureConfig(
+            transport="coap",
+            group_size=group_size,
+            compress=compress,
+            cipher=cipher,
         )
-        self.env.process(self._sender_loop(), name="coap-provlight-sender")
+        if costs is not None:
+            config = config.with_(costs=costs)
+        super().__init__(device, server, DEFAULT_CAPTURE_PATH, config)
 
     @property
-    def now(self) -> float:
-        return self.env.now
+    def coap(self) -> CoapClient:
+        """The underlying CoAP client (tests tune its retransmit knobs)."""
+        return self.transport.coap
 
-    def setup(self):
-        """CoAP is connectionless: nothing to establish."""
-        return self
-        yield  # pragma: no cover
-
-    def capture(self, record: Dict[str, Any], groupable: bool = True):
-        self.records_captured.record()
-        n_attrs = count_attributes_from_record(record)
-        if groupable and self.group_buffer.enabled:
-            yield from self.device.cpu.run(
-                compute_s=self.costs.buffered_fixed_compute_s
-                + self.costs.buffered_per_attr_compute_s * n_attrs,
-                io_wait_s=self.costs.buffered_io_s,
-                tag="capture",
-            )
-            group = self.group_buffer.add(record)
-            if group is not None:
-                yield from self._flush_group(group)
-        else:
-            yield from self.device.cpu.run(
-                compute_s=self.costs.inline_fixed_compute_s
-                + self.costs.inline_per_attr_compute_s * n_attrs,
-                io_wait_s=self.costs.inline_io_s,
-                tag="capture",
-            )
-            self._enqueue(
-                encode_payload(record, compress=self.compress, cipher=self.cipher)
-            )
-
-    def flush_groups(self):
-        group = self.group_buffer.flush()
-        if group is not None:
-            yield from self._flush_group(group)
-
-    def _flush_group(self, group):
-        yield from self.device.cpu.run(
-            compute_s=self.costs.group_flush_fixed_compute_s
-            + self.costs.group_flush_per_record_compute_s * len(group),
-            io_wait_s=self.costs.group_flush_io_s,
-            tag="capture",
-        )
-        self._enqueue(
-            encode_payload(group, compress=self.compress, cipher=self.cipher)
-        )
-
-    def _enqueue(self, payload: bytes) -> None:
-        nbytes = len(payload) + MEMORY_FOOTPRINTS.per_message_overhead_bytes
-        self.device.memory.allocate(nbytes, tag="capture-buffers")
-        self._outstanding += 1
-        self._queue.put((payload, nbytes))
-
-    def _sender_loop(self):
-        while True:
-            payload, nbytes = yield self._queue.get()
-            done = self.coap.post_nowait("/prov", payload)
-            self.device.cpu.run_async(
-                io_busy_s=self.costs.async_per_message_io_s, tag="capture"
-            )
-            try:
-                yield done
-            except Exception:
-                pass  # exhausted retransmissions: record lost, never crash
-            self.messages_sent.record()
-            self.payload_bytes.record(len(payload))
-            self.device.memory.free(nbytes, tag="capture-buffers")
-            self._outstanding -= 1
-            if self._outstanding == 0 and not self._queue.items:
-                waiters, self._drain_waiters = self._drain_waiters, []
-                for event in waiters:
-                    event.succeed()
-
-    def drain(self):
-        if self._outstanding == 0 and not self._queue.items:
-            return
-        event = self.env.event()
-        self._drain_waiters.append(event)
-        yield event
-
-    def close(self) -> None:
-        self.device.memory.free(
-            MEMORY_FOOTPRINTS.provlight_lib_bytes, tag="capture-static"
-        )
+    def __repr__(self) -> str:
+        return f"<ProvLightCoapClient {self.transport.path} on {self.device.name}>"

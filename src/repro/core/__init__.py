@@ -7,9 +7,16 @@ records, an asynchronous MQTT-SN capture client, and the server side
 backends).
 """
 
-from .client import ProvLightClient
+from .client import MqttSnCaptureTransport, ProvLightClient
 from .grouping import GroupBuffer
-from .model import Data, Task, Workflow, count_attributes
+from .model import (
+    Data,
+    Task,
+    Workflow,
+    count_attribute_values,
+    count_attributes,
+    count_attributes_from_record,
+)
 from .provdm import ProvDocument, ProvError, document_from_records
 from .security import AuthenticationError, PayloadCipher, derive_key
 from .serialization import (
@@ -41,7 +48,10 @@ __all__ = [
     "Task",
     "Data",
     "count_attributes",
+    "count_attribute_values",
+    "count_attributes_from_record",
     "ProvLightClient",
+    "MqttSnCaptureTransport",
     "ProvLightServer",
     "TranslatorPool",
     "DEFAULT_TRANSLATOR_WORKERS",

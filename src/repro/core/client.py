@@ -1,4 +1,5 @@
-"""The ProvLight capture client.
+"""The ProvLight capture client: the ``mqttsn`` transport adapter plus
+the classic ``ProvLightClient`` entry point.
 
 This is the paper's core contribution: a capture library whose critical
 path (what the instrumented workflow waits on) is only
@@ -7,10 +8,14 @@ path (what the instrumented workflow waits on) is only
 2. binary-encoding + compressing it (:mod:`repro.core.serialization`),
 3. appending it to the outbound queue.
 
-A background sender drives the MQTT-SN QoS 2 exchange, so network
-latency, bandwidth and the broker never delay the workflow — the design
-property behind Tables VII/VIII (flat overhead across bandwidths) versus
-the baselines' blocking HTTP (Tables II/III).
+That shared critical path now lives in
+:class:`repro.capture.CaptureClient`; this module contributes only the
+protocol-specific part — :class:`MqttSnCaptureTransport`, a thin adapter
+over :class:`~repro.mqttsn.MqttSnClient` driving the MQTT-SN QoS 2
+exchange in the background so network latency, bandwidth and the broker
+never delay the workflow (the design property behind Tables VII/VIII)
+— and :class:`ProvLightClient`, the compatibility shim that constructs
+the façade with this transport.
 
 Costs are charged per :mod:`repro.calibration`; payload bytes are real
 (actual codec + zlib output), so network numbers are emergent.
@@ -19,24 +24,69 @@ Costs are charged per :mod:`repro.calibration`; payload bytes are real
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional
+from typing import Optional
 
 from ..calibration import MEMORY_FOOTPRINTS, PROVLIGHT_COSTS, MemoryFootprints, ProvLightCosts
+from ..capture import CaptureClient, CaptureConfig, CaptureTransport, register_transport
 from ..device import Device
 from ..mqttsn import MqttSnClient
 from ..net import Endpoint
-from ..simkernel import Counter, Store
-from .grouping import GroupBuffer
-from .model import count_attributes
-from .serialization import encode_payload
+# re-export: the Table I attribute-count semantics live in core.model now,
+# but a long tail of callers imports the record-shaped helper from here
+from .model import count_attributes_from_record  # noqa: F401
 
-__all__ = ["ProvLightClient"]
+__all__ = ["ProvLightClient", "MqttSnCaptureTransport", "count_attributes_from_record"]
 
 _client_ids = itertools.count(1)
 
 
-class ProvLightClient:
-    """Capture client bound to one device, publishing to one topic."""
+class MqttSnCaptureTransport(CaptureTransport):
+    """Capture over an asynchronous MQTT-SN publish (the paper's choice).
+
+    ``send()`` is :meth:`~repro.mqttsn.MqttSnClient.publish_nowait`: the
+    QoS machinery (PUBREC/PUBREL/PUBCOMP, retransmissions) runs in the
+    MQTT-SN client's receive loop, off the workflow's critical path.
+    """
+
+    name = "mqttsn"
+    blocking = False
+    requires_setup = True  # the broker must assign a topic id first
+
+    def __init__(self, device: Device, broker: Endpoint, topic: str,
+                 config: CaptureConfig):
+        self.mqtt = MqttSnClient(
+            device.host,
+            config.client_id or f"provlight-{next(_client_ids)}",
+            broker,
+        )
+        self.qos = config.qos
+        self.topic_id: Optional[int] = None
+
+    def connect(self):
+        yield from self.mqtt.connect()
+
+    def register(self, topic: str):
+        self.topic_id = yield from self.mqtt.register(topic)
+        return self.topic_id
+
+    def send(self, payload: bytes):
+        return self.mqtt.publish_nowait(self.topic_id, payload, qos=self.qos)
+
+    def disconnect(self) -> None:
+        self.mqtt.disconnect()
+
+
+register_transport("mqttsn", MqttSnCaptureTransport)
+
+
+class ProvLightClient(CaptureClient):
+    """Capture client bound to one device, publishing to one topic.
+
+    Compatibility shim over :class:`~repro.capture.CaptureClient` with
+    the ``mqttsn`` transport: existing instrumentation, the paper-table
+    harness and the examples run unchanged, while new code should prefer
+    :func:`repro.capture.create_client`.
+    """
 
     def __init__(
         self,
@@ -51,172 +101,26 @@ class ProvLightClient:
         client_id: Optional[str] = None,
         cipher=None,
     ):
-        if device.host is None:
-            raise RuntimeError(
-                f"device {device.name} is not attached to a network host"
-            )
-        self.device = device
-        self.env = device.env
-        self.topic = topic
-        self.qos = qos
-        self.compress = compress
-        self.cipher = cipher
-        self.costs = costs
-        self.footprints = footprints
-        self.group_buffer = GroupBuffer(group_size)
-        self.mqtt = MqttSnClient(
-            device.host,
-            client_id or f"provlight-{next(_client_ids)}",
-            broker,
+        config = CaptureConfig(
+            transport="mqttsn",
+            group_size=group_size,
+            compress=compress,
+            qos=qos,
+            cipher=cipher,
+            client_id=client_id,
+            costs=costs,
+            footprints=footprints,
         )
-        self.topic_id: Optional[int] = None
-        self._queue: Store = Store(self.env)
-        self._outstanding = 0
-        self._drain_waiters: List = []
-        self.messages_sent = Counter("messages")
-        self.payload_bytes = Counter("payload-bytes")
-        self.records_captured = Counter("records")
-        device.memory.allocate(footprints.provlight_lib_bytes, tag="capture-static")
-        self.env.process(self._sender_loop(), name=f"provlight-sender-{self.topic}")
+        super().__init__(device, broker, topic, config)
 
-    # ------------------------------------------------------------------ API
     @property
-    def now(self) -> float:
-        """Simulated clock (used by model classes for record timestamps)."""
-        return self.env.now
+    def mqtt(self) -> MqttSnClient:
+        """The underlying MQTT-SN client (tests tune its retry knobs)."""
+        return self.transport.mqtt
 
-    def setup(self):
-        """Generator: connect to the broker and register the topic.
-
-        Idempotent: a client that is already set up returns immediately,
-        so deployment frameworks can hand out ready clients and workloads
-        can still call ``setup()`` unconditionally.
-        """
-        if self.topic_id is not None:
-            return self
-        yield from self.mqtt.connect()
-        self.topic_id = yield from self.mqtt.register(self.topic)
-        return self
-
-    def capture(self, record: Dict[str, Any], groupable: bool = True):
-        """Generator: capture one record (called by the model classes).
-
-        Charges calibrated inline costs, produces the real payload bytes
-        and hands them to the background sender.  Returns as soon as the
-        record is queued — this is the *entire* workflow-visible cost.
-        """
-        if self.topic_id is None:
-            raise RuntimeError("capture before setup()")
-        self.records_captured.record()
-        n_attrs = count_attributes_from_record(record)
-        costs = self.costs
-        cpu_run = self.device.cpu.run
-        if groupable and self.group_buffer.enabled:
-            yield from cpu_run(
-                compute_s=costs.buffered_fixed_compute_s
-                + costs.buffered_per_attr_compute_s * n_attrs,
-                io_wait_s=costs.buffered_io_s,
-                tag="capture",
-            )
-            group = self.group_buffer.add(record)
-            if group is not None:
-                yield from self._flush_group(group)
-        else:
-            yield from cpu_run(
-                compute_s=costs.inline_fixed_compute_s
-                + costs.inline_per_attr_compute_s * n_attrs,
-                io_wait_s=costs.inline_io_s,
-                tag="capture",
-            )
-            self._enqueue(
-                encode_payload(record, compress=self.compress, cipher=self.cipher)
-            )
-
-    def flush_groups(self):
-        """Generator: force out a partial group (workflow end)."""
-        group = self.group_buffer.flush()
-        if group is not None:
-            yield from self._flush_group(group)
-        return None
-        yield  # pragma: no cover - make this a generator even when empty
-
-    def drain(self):
-        """Generator: wait until every queued message completed its QoS
-        handshake.  Diagnostic/teardown helper; the paper's overhead
-        metric intentionally does not include this wait."""
-        if self._outstanding == 0 and not self._queue.items:
-            return
-        event = self.env.event()
-        self._drain_waiters.append(event)
-        yield event
-
-    def close(self) -> None:
-        """Disconnect and release the library's static memory."""
-        self.mqtt.disconnect()
-        self.device.memory.free(
-            self.footprints.provlight_lib_bytes, tag="capture-static"
-        )
-
-    # ------------------------------------------------------------- internals
-    def _flush_group(self, group: List[Dict[str, Any]]):
-        costs = self.costs
-        yield from self.device.cpu.run(
-            compute_s=costs.group_flush_fixed_compute_s
-            + costs.group_flush_per_record_compute_s * len(group),
-            io_wait_s=costs.group_flush_io_s,
-            tag="capture",
-        )
-        self._enqueue(
-            encode_payload(group, compress=self.compress, cipher=self.cipher)
-        )
-
-    def _enqueue(self, payload: bytes) -> None:
-        nbytes = len(payload) + self.footprints.per_message_overhead_bytes
-        self.device.memory.allocate(nbytes, tag="capture-buffers")
-        self._outstanding += 1
-        self._queue.put((payload, nbytes))
-
-    def _sender_loop(self):
-        while True:
-            payload, nbytes = yield self._queue.get()
-            done = self.mqtt.publish_nowait(self.topic_id, payload, qos=self.qos)
-            # QoS bookkeeping (PUBREC/PUBREL/PUBCOMP handling) happens on a
-            # background thread: busy CPU, but off the workflow's path.
-            self.device.cpu.run_async(
-                io_busy_s=self.costs.async_per_message_io_s, tag="capture"
-            )
-            try:
-                yield done
-            except Exception:
-                # exactly-once exchange exhausted its retries; the record
-                # is lost but capture must never crash the workflow.
-                pass
-            self.messages_sent.record()
-            self.payload_bytes.record(len(payload))
-            self.device.memory.free(nbytes, tag="capture-buffers")
-            self._outstanding -= 1
-            if self._outstanding == 0 and not self._queue.items:
-                waiters, self._drain_waiters = self._drain_waiters, []
-                for event in waiters:
-                    event.succeed()
+    @property
+    def topic_id(self) -> Optional[int]:
+        return self.transport.topic_id
 
     def __repr__(self) -> str:
         return f"<ProvLightClient {self.topic} on {self.device.name}>"
-
-
-_CONTAINER_TYPES = (list, tuple, dict)
-
-
-def count_attributes_from_record(record: Dict[str, Any]) -> int:
-    """Attribute count of a record (see :func:`~repro.core.model.count_attributes`)."""
-    total = 0
-    for item in record.get("data", ()):
-        attributes = item.get("attributes")
-        if not attributes:
-            continue
-        for value in attributes.values():
-            if isinstance(value, _CONTAINER_TYPES):
-                total += len(value)
-            else:
-                total += 1
-    return total

@@ -22,28 +22,53 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
-__all__ = ["Workflow", "Task", "Data", "count_attributes"]
+__all__ = [
+    "Workflow",
+    "Task",
+    "Data",
+    "count_attributes",
+    "count_attribute_values",
+    "count_attributes_from_record",
+]
 
 Scalar = Union[None, bool, int, float, str, bytes]
 
+_CONTAINER_TYPES = (list, tuple, dict)
 
-def count_attributes(data_items: Sequence["Data"]) -> int:
-    """Number of scalar attribute values across data items.
+
+def count_attribute_values(attributes: Dict[str, Any]) -> int:
+    """Number of scalar values in one attribute mapping (Table I).
 
     The paper's "attributes per task" counts the values manipulated per
-    task (e.g. ``{'in': [1]*100}`` is 100 attributes), so sequence values
-    count element-wise.
+    task (e.g. ``{'in': [1]*100}`` is 100 attributes), so container
+    values (list/tuple/dict) count element-wise and scalars count one.
     """
     total = 0
-    for item in data_items:
-        for value in item.attributes.values():
-            if isinstance(value, (list, tuple)):
-                total += len(value)
-            elif isinstance(value, dict):
-                total += len(value)
-            else:
-                total += 1
+    for value in attributes.values():
+        if isinstance(value, _CONTAINER_TYPES):
+            total += len(value)
+        else:
+            total += 1
     return total
+
+
+def count_attributes(data_items: Sequence[Any]) -> int:
+    """Attribute count across data items (:class:`Data` objects or their
+    ``to_record()`` dicts) — the one Table I implementation shared by
+    every capture client and baseline."""
+    total = 0
+    for item in data_items:
+        attributes = (
+            item.attributes if isinstance(item, Data) else item.get("attributes")
+        )
+        if attributes:
+            total += count_attribute_values(attributes)
+    return total
+
+
+def count_attributes_from_record(record: Dict[str, Any]) -> int:
+    """Attribute count of a full capture record (its ``data`` items)."""
+    return count_attributes(record.get("data", ()))
 
 
 class Data:

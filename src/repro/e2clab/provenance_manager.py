@@ -6,22 +6,37 @@ deploys, on a cloud host:
 * the ProvLight server (MQTT-SN broker + provenance data translators),
 * the DfAnalyzer storage/query service as backend,
 
-and hands out ProvLight capture clients for edge devices — one topic per
-device as in the paper's Fig. 5, sharded across the server's fixed-size
-translator worker pool.  The manager also
-exposes the DfAnalyzer query interface so users can analyze captured
-provenance at workflow runtime.
+and hands out capture clients for edge devices — one topic per device as
+in the paper's Fig. 5, sharded across the server's fixed-size translator
+worker pool.  Clients are built through the unified capture API
+(:func:`repro.capture.create_client`), so the transport is a deployment
+choice: the manager-wide default comes from the ``transport=`` argument
+or the ``REPRO_CAPTURE_TRANSPORT`` environment hook (so an operator can
+retarget a whole experiment campaign without touching driver code), and
+:meth:`deploy_client` can override it per device.  The matching capture
+sink (CoAP server, HTTP collector) is deployed on demand next to the
+MQTT-SN server.
+
+The manager also exposes the DfAnalyzer query interface so users can
+analyze captured provenance at workflow runtime.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
+from ..capture import (
+    CaptureClient,
+    CaptureConfig,
+    create_client,
+    deploy_capture_sink,
+    normalize_transport,
+)
 from ..core import (
     DEFAULT_BROKER_SHARDS,
     DEFAULT_TRANSLATOR_WORKERS,
     CallableBackend,
-    ProvLightClient,
     ProvLightServer,
 )
 from ..device import Device, XEON_GOLD_5220
@@ -30,6 +45,31 @@ from ..net import Network
 from ..simkernel import Environment
 
 __all__ = ["ProvenanceManager"]
+
+#: port of the manager's blocking-HTTP capture collector
+HTTP_CAPTURE_PORT = 5000
+
+
+def _default_capture_transport() -> str:
+    """Manager-wide transport; ``REPRO_CAPTURE_TRANSPORT`` overrides.
+
+    The environment hook is what lets a deployment retarget every
+    ``deploy_client`` call (MQTT-SN vs CoAP vs blocking HTTP) without
+    threading an argument through each driver.  Unknown names fail
+    loudly here, at the first ``ProvenanceManager()``.
+    """
+    value = os.environ.get("REPRO_CAPTURE_TRANSPORT")
+    if not value:
+        return "mqttsn"
+    from ..capture import transport_names
+
+    canonical = normalize_transport(value)
+    if canonical not in transport_names():
+        raise ValueError(
+            f"REPRO_CAPTURE_TRANSPORT={value!r} is not a registered capture "
+            f"transport; known: {', '.join(transport_names())}"
+        )
+    return canonical
 
 
 class ProvenanceManager:
@@ -47,12 +87,16 @@ class ProvenanceManager:
         host_name: Optional[str] = None,
         translator_workers: int = DEFAULT_TRANSLATOR_WORKERS,
         broker_shards: int = DEFAULT_BROKER_SHARDS,
+        transport: Optional[str] = None,
     ):
         self.network = network
         self.env: Environment = network.env
         self.target = target
         self.group_size = group_size
         self.compress = compress
+        self.transport = normalize_transport(transport) if transport else (
+            _default_capture_transport()
+        )
         self.service = DfAnalyzerService()
         host_name = host_name or self.HOST_NAME
         if host_name in network.hosts:
@@ -65,29 +109,53 @@ class ProvenanceManager:
             host, CallableBackend(self.service.ingest), target=target,
             workers=translator_workers, broker_shards=broker_shards,
         )
-        self.clients: Dict[str, ProvLightClient] = {}
+        #: lazily deployed non-MQTT-SN sinks: transport -> (server, endpoint)
+        self._sinks: Dict[str, tuple] = {}
+        self.clients: Dict[str, CaptureClient] = {}
 
     @property
     def host_name(self) -> str:
         return self.host.name
 
-    def deploy_client(self, device: Device, topic: Optional[str] = None):
-        """Generator: create a capture client for ``device`` plus its
-        dedicated translator (paper Fig. 5: topic-i / translator-i)."""
-        topic = topic or f"provlight/{device.name}/data"
-        if topic in self.clients:
-            raise ValueError(f"topic {topic!r} already has a capture client")
-        yield from self.server.add_translator(topic)  # shards onto the pool
-        client = ProvLightClient(
-            device,
-            self.server.endpoint,
-            topic,
+    def capture_config(self, transport: Optional[str] = None) -> CaptureConfig:
+        """The config handed to every deployed capture client."""
+        return CaptureConfig(
+            transport=normalize_transport(transport) if transport else self.transport,
             group_size=self.group_size,
             compress=self.compress,
         )
+
+    def deploy_client(self, device: Device, topic: Optional[str] = None,
+                      transport: Optional[str] = None):
+        """Generator: create a capture client for ``device`` plus its
+        dedicated translator (paper Fig. 5: topic-i / translator-i).
+
+        ``transport`` overrides the manager-wide default for this one
+        client; the matching sink is provisioned on first use.
+        """
+        topic = topic or f"provlight/{device.name}/data"
+        if topic in self.clients:
+            raise ValueError(f"topic {topic!r} already has a capture client")
+        config = self.capture_config(transport)
+        endpoint = yield from self._ensure_sink(config.transport, topic)
+        client = create_client(device, endpoint, topic, config)
         yield from client.setup()
         self.clients[topic] = client
         return client
+
+    def _ensure_sink(self, transport: str, topic: str):
+        """Generator: endpoint of the capture sink for ``transport``,
+        deploying it on the manager host the first time it is needed."""
+        if transport == "mqttsn":
+            yield from self.server.add_translator(topic)  # shards onto the pool
+            return self.server.endpoint
+        if transport not in self._sinks:
+            self._sinks[transport] = deploy_capture_sink(
+                transport, self.host, self.service.ingest, target=self.target,
+                http_port=HTTP_CAPTURE_PORT,
+            )
+        _, endpoint = self._sinks[transport]
+        return endpoint
 
     def connect_layer_to_server(self, hosts: List[str], bandwidth_bps: float,
                                 latency_s: float) -> None:
@@ -116,5 +184,5 @@ class ProvenanceManager:
     def __repr__(self) -> str:
         return (
             f"<ProvenanceManager target={self.target} host={self.host_name} "
-            f"clients={len(self.clients)}>"
+            f"transport={self.transport} clients={len(self.clients)}>"
         )

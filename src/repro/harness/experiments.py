@@ -15,11 +15,16 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..baselines import DfAnalyzerCaptureClient, NullCaptureClient, ProvLakeClient
+from ..capture import (
+    CaptureConfig,
+    create_client,
+    deploy_capture_sink,
+    normalize_transport,
+)
 from ..core import (
     DEFAULT_BROKER_SHARDS,
     DEFAULT_TRANSLATOR_WORKERS,
     CallableBackend,
-    ProvLightClient,
     ProvLightServer,
 )
 from ..device import A8M3, XEON_GOLD_5220, Device, DeviceSpec
@@ -80,6 +85,9 @@ class ExperimentSetup:
     device_spec: DeviceSpec = A8M3
     compress: bool = True
     qos: int = 2
+    #: capture transport for the provlight system (``mqttsn``, ``coap``
+    #: or ``http`` — any name in :func:`repro.capture.transport_names`)
+    transport: str = "mqttsn"
     #: attach each device topic to the server's translator pool (paper Fig. 5)
     with_translators: bool = True
     #: size of the sharded translator pool on the server (paper Table IX:
@@ -89,8 +97,19 @@ class ExperimentSetup:
     #: deployment; ``REPRO_BROKER_SHARDS`` overrides the default)
     broker_shards: int = field(default_factory=_default_broker_shards)
 
+    def capture_config(self) -> CaptureConfig:
+        """The declarative capture config this condition describes."""
+        return CaptureConfig(
+            transport=self.transport,
+            group_size=self.group_size,
+            compress=self.compress,
+            qos=self.qos,
+        )
+
     def describe(self) -> str:
         parts = [self.system, self.bandwidth, f"delay={self.delay}"]
+        if normalize_transport(self.transport) != "mqttsn":
+            parts.append(f"transport={self.transport}")
         if self.group_size:
             parts.append(f"group={self.group_size}")
         if self.n_devices > 1:
@@ -137,9 +156,18 @@ def run_null_baseline(
 
 
 def run_capture_experiment(
-    setup: ExperimentSetup, config: SyntheticWorkloadConfig, seed: int
+    setup: ExperimentSetup,
+    config: SyntheticWorkloadConfig,
+    seed: int,
+    capture_config: Optional[CaptureConfig] = None,
 ) -> RunOutcome:
-    """Run the workload with capture per ``setup``; returns the measures."""
+    """Run the workload with capture per ``setup``; returns the measures.
+
+    ``capture_config`` overrides the :class:`~repro.capture.CaptureConfig`
+    derived from ``setup`` (transport/grouping/QoS/compression) for the
+    ``provlight`` system; the matching capture sink (MQTT-SN server, CoAP
+    server or HTTP collector) is deployed automatically.
+    """
     if setup.system not in SYSTEMS:
         raise ValueError(f"unknown system {setup.system!r}; known: {SYSTEMS}")
     env = Environment()
@@ -161,20 +189,24 @@ def run_capture_experiment(
     clients: List[Any] = []
     server: Optional[ProvLightServer] = None
     if setup.system == "provlight":
-        server = ProvLightServer(
-            net.hosts["cloud"], CallableBackend(backend_service.ingest),
-            workers=setup.translator_workers,
-            broker_shards=setup.broker_shards,
-        )
+        cap_config = capture_config or setup.capture_config()
+        transport = normalize_transport(cap_config.transport)
+        if transport == "mqttsn":
+            server = ProvLightServer(
+                net.hosts["cloud"], CallableBackend(backend_service.ingest),
+                workers=setup.translator_workers,
+                broker_shards=setup.broker_shards,
+            )
+            endpoint = server.endpoint
+        else:
+            _, endpoint = deploy_capture_sink(
+                transport, net.hosts["cloud"], backend_service.ingest,
+                http_workers=max(8, setup.n_devices),
+            )
         for i, device in enumerate(devices):
             clients.append(
-                ProvLightClient(
-                    device,
-                    server.endpoint,
-                    f"provlight/edge-{i}/data",
-                    group_size=setup.group_size,
-                    compress=setup.compress,
-                    qos=setup.qos,
+                create_client(
+                    device, endpoint, f"provlight/edge-{i}/data", cap_config
                 )
             )
     else:

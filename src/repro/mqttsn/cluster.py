@@ -15,7 +15,9 @@ Layout (see ``docs/server-architecture.md``):
 * a :class:`~repro.net.UdpShardDispatcher` owns the public port, peeks
   the message-type octet of each datagram (CONNECTs re-pin by client id,
   everything else follows the source endpoint's sticky pin) and forwards
-  it to the owning shard for ``broker_dispatch_fixed_s`` of work;
+  per-shard *bundles* per wakeup — ``broker_dispatch_fixed_s`` per
+  bundle plus ``broker_dispatch_per_datagram_s`` per datagram, so heavy
+  fan-in amortizes the fixed dispatch work;
 * each shard is a stock ``MqttSnBroker`` servicing only its own
   sessions, sending replies through the shared front socket so the wire
   shows one endpoint;
@@ -161,8 +163,12 @@ class _ClusterRelay:
 
     def _deliver(self, shard: MqttSnBroker, entries) -> None:
         # one relay hop per (origin batch, destination shard): the same
-        # peek-and-push work the front dispatcher pays per datagram
-        yield self._cluster.env.timeout(self._cluster.dispatch_fixed_s)
+        # bundle + per-entry work the front dispatcher pays
+        cluster = self._cluster
+        yield cluster.env.timeout(
+            cluster.dispatch_fixed_s
+            + cluster.dispatch_per_datagram_s * len(entries)
+        )
         for session, topic_name, message, qos in entries:
             shard._stage_delivery(session, topic_name, message, qos)
         shard._flush_deliveries()
@@ -184,6 +190,7 @@ class BrokerCluster:
         service_time_s: float = SERVER_COSTS.broker_per_packet_s,
         batch_fixed_s: float = SERVER_COSTS.broker_batch_fixed_s,
         dispatch_fixed_s: float = SERVER_COSTS.broker_dispatch_fixed_s,
+        dispatch_per_datagram_s: float = SERVER_COSTS.broker_dispatch_per_datagram_s,
         max_batch: int = 64,
         retry_interval_s: float = 1.0,
         max_retries: int = 5,
@@ -195,6 +202,7 @@ class BrokerCluster:
         self.env = host.env
         self.port = port
         self.dispatch_fixed_s = dispatch_fixed_s
+        self.dispatch_per_datagram_s = dispatch_per_datagram_s
         shard_kwargs = dict(
             service_time_s=service_time_s,
             batch_fixed_s=batch_fixed_s,
@@ -223,6 +231,7 @@ class BrokerCluster:
                 shards,
                 classify=self._classify,
                 dispatch_fixed_s=dispatch_fixed_s,
+                dispatch_per_datagram_s=dispatch_per_datagram_s,
                 max_batch=max_batch,
                 on_repin=self._on_repin,
             )

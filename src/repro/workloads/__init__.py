@@ -2,8 +2,14 @@
 three application classes it mimics — federated learning training,
 sensor data aggregation and image pre-processing.
 
-Every workload takes any capture client (ProvLight, a baseline, or the
-null client) through the uniform capture interface.
+Every workload takes any capture client through the uniform capture
+interface (``setup()`` / ``capture()`` / ``flush_groups()`` /
+``drain()`` generators + ``close()``): a
+:class:`repro.capture.CaptureClient` built by
+:func:`repro.capture.create_client` for any registered transport, one of
+its compatibility shims (``ProvLightClient``, ``ProvLightCoapClient``),
+a blocking baseline, or the null client.  Swapping the capture system is
+therefore a one-line config change, never a workload change.
 """
 
 from .federated import (

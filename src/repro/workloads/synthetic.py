@@ -75,8 +75,10 @@ def synthetic_workload(
 ):
     """Generator running the instrumented loop of the paper's Listing 1.
 
-    ``client`` is any capture client (ProvLight, a baseline, or the null
-    client).  ``result`` (if given) is filled with:
+    ``client`` is any capture client implementing the uniform interface
+    (build one with :func:`repro.capture.create_client` for any
+    registered transport; baselines and the null client conform too).
+    ``result`` (if given) is filled with:
 
     * ``elapsed`` — workflow duration including capture calls,
     * ``tasks`` — number of tasks executed,

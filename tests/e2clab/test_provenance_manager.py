@@ -171,3 +171,70 @@ def test_manager_with_sharded_broker_plane():
     # 2 devices x (wf begin/end + task begin/end) = 8 records
     assert manager.records_ingested == 8
     assert manager.server.broker.delivery_failures.count == 0
+
+
+def test_deploy_client_with_coap_transport():
+    env, net, manager, devices = make_world()
+
+    def scenario(env):
+        client = yield from manager.deploy_client(devices[0], transport="coap")
+        assert client.transport.name == "coap"
+        wf = Workflow("c", client)
+        yield from wf.begin()
+        task = Task(0, wf)
+        yield from task.begin([])
+        yield from task.end([Data("out0", "c", {"v": 1.0})])
+        yield from wf.end(drain=True)
+        yield env.timeout(10)
+
+    env.process(scenario(env))
+    env.run()
+    assert manager.records_ingested == 4
+
+
+def test_env_hook_selects_manager_transport(monkeypatch):
+    monkeypatch.setenv("REPRO_CAPTURE_TRANSPORT", "coap")
+    env, net, manager, devices = make_world()
+    assert manager.transport == "coap"
+
+    def scenario(env):
+        client = yield from manager.deploy_client(devices[0])
+        assert client.transport.name == "coap"
+        wf = Workflow("e", client)
+        yield from wf.begin()
+        yield from wf.end(drain=True)
+        yield env.timeout(10)
+
+    env.process(scenario(env))
+    env.run()
+    assert manager.records_ingested == 2
+
+
+def test_env_hook_rejects_unknown_transport(monkeypatch):
+    monkeypatch.setenv("REPRO_CAPTURE_TRANSPORT", "avian-carrier")
+    env = Environment()
+    net = Network(env, seed=1)
+    with pytest.raises(ValueError, match="REPRO_CAPTURE_TRANSPORT"):
+        ProvenanceManager(net)
+
+
+def test_mixed_transports_share_one_backend():
+    env, net, manager, devices = make_world()
+
+    def scenario(env):
+        mqtt_client = yield from manager.deploy_client(devices[0])
+        coap_client = yield from manager.deploy_client(devices[1],
+                                                       transport="coap")
+        for tag, client in (("m", mqtt_client), ("k", coap_client)):
+            wf = Workflow(tag, client)
+            yield from wf.begin()
+            task = Task(0, wf)
+            yield from task.begin([])
+            yield from task.end([])
+            yield from wf.end(drain=True)
+        yield env.timeout(10)
+
+    env.process(scenario(env))
+    env.run()
+    # 2 workflows x (wf begin/end + task begin/end) via two transports
+    assert manager.records_ingested == 8

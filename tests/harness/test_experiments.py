@@ -116,3 +116,40 @@ def test_runner_runs_single_target(capsys):
     assert "table9" in results
     out = capsys.readouterr().out
     assert "Table IX" in out
+
+
+def test_run_capture_experiment_coap_transport():
+    """The declarative transport knob deploys the matching CoAP sink."""
+    setup = ExperimentSetup(system="provlight", transport="coap")
+    outcome = run_capture_experiment(setup, FAST, seed=1)
+    assert outcome.elapsed[0] > 1.0
+    assert outcome.backend_records > 0
+    assert "transport=coap" in setup.describe()
+
+
+def test_run_capture_experiment_http_transport_is_blocking():
+    """ProvLight payloads over the blocking-HTTP collector: records
+    still land in the backend, at baseline-like blocking overhead."""
+    async_out = run_capture_experiment(
+        ExperimentSetup(system="provlight"), FAST, seed=1)
+    http_out = run_capture_experiment(
+        ExperimentSetup(system="provlight", transport="http"), FAST, seed=1)
+    assert http_out.backend_records == async_out.backend_records > 0
+    assert http_out.elapsed[0] > async_out.elapsed[0]
+
+
+def test_run_capture_experiment_capture_config_override():
+    from repro.capture import CaptureConfig
+
+    setup = ExperimentSetup(system="provlight")
+    outcome = run_capture_experiment(
+        setup, FAST, seed=1, capture_config=CaptureConfig(group_size=5))
+    assert outcome.backend_records > 0
+
+
+def test_experiment_setup_capture_config_round_trip():
+    setup = ExperimentSetup(system="provlight", group_size=7, compress=False,
+                            qos=1, transport="coap")
+    config = setup.capture_config()
+    assert (config.transport, config.group_size, config.compress, config.qos) == (
+        "coap", 7, False, 1)
