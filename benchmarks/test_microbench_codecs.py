@@ -120,3 +120,44 @@ def test_encrypted_payload_overhead(benchmark):
     cipher = PayloadCipher(derive_key("bench"))
     wire = benchmark(lambda: encode_payload(RECORD_100, cipher=cipher))
     assert decode_payload(wire, cipher=cipher) == RECORD_100
+
+
+def test_journal_append_100_attrs(benchmark, tmp_path):
+    # the durable-capture write-through: one hash-chained SQLite WAL
+    # append per captured payload — the real cost a durable=True client
+    # pays on top of encoding (the BENCH headline tracks the ratio)
+    from repro.capture import CaptureJournal
+
+    journal = CaptureJournal(str(tmp_path / "bench.journal.db"), "bench-client")
+    payload = encode_payload(RECORD_100)
+    benchmark(journal.append, payload)
+    assert journal.verify_chain() == len(journal)
+    journal.close()
+
+
+def test_journal_append_signed_100_attrs(benchmark, tmp_path):
+    from repro.capture import CaptureJournal, HmacRecordSigner
+
+    journal = CaptureJournal(
+        str(tmp_path / "bench-signed.journal.db"),
+        "bench-client",
+        signer=HmacRecordSigner(b"bench-signing-key-16"),
+    )
+    payload = encode_payload(RECORD_100)
+    benchmark(journal.append, payload)
+    assert journal.verify_chain() == len(journal)
+    journal.close()
+
+
+def test_envelope_wrap_unwrap_100_attrs(benchmark):
+    from repro.capture import unwrap_payload, wrap_payload
+
+    payload = encode_payload(RECORD_100)
+
+    def roundtrip():
+        return unwrap_payload(wrap_payload("edge-dev/conf/edge/data", 12345,
+                                           payload))
+
+    client_id, seq, inner = benchmark(roundtrip)
+    assert (client_id, seq) == ("edge-dev/conf/edge/data", 12345)
+    assert inner == payload

@@ -25,4 +25,10 @@ for example in examples/*.py; do
     python "$example" > /dev/null
 done
 
+# durability smoke: the flaky-uplink example *asserts* zero loss and
+# exactly-once ingestion across two partitions, so run it loudly (the
+# loop above already executed it, but its output is the contract)
+echo "durability smoke: examples/flaky_uplink.py"
+python examples/flaky_uplink.py
+
 python scripts/run_benchmarks.py --quick

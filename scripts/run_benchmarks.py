@@ -195,6 +195,14 @@ def headline(benchmarks: dict, sizes: dict) -> dict:
         per_bundle = entry.get("extra_info", {}).get("dispatch_datagrams_per_bundle")
         if per_bundle:
             out["dispatch_amortization_datagrams_per_bundle_8_shards"] = per_bundle
+    # durable capture: what the WAL write-through adds on top of encoding
+    # one 100-attr record (the per-record client cost of durable=True)
+    wal = median("test_journal_append_100_attrs")
+    wal_signed = median("test_journal_append_signed_100_attrs")
+    if wal and e2:
+        out["wal_append_overhead_vs_encode_100_attrs"] = round(wal / e2, 2)
+    if wal and wal_signed:
+        out["wal_append_signing_overhead"] = round(wal_signed / wal, 2)
     g1 = sizes["grouped_50x10_v1_uncompressed_bytes"]
     g2 = sizes["grouped_50x10_v2_uncompressed_bytes"]
     out["grouped_uncompressed_size_reduction"] = round(1 - g2 / g1, 3)

@@ -85,6 +85,11 @@ class HttpPostCaptureTransport(CaptureTransport):
         self.requests_sent = Counter("requests")
         self.body_bytes = Counter("body-bytes")
         self.capture_errors = Counter("errors")
+        #: durable clients need the ack hook to be truthful: a failed
+        #: POST must fail the completion event so the façade parks the
+        #: journaled entry for replay.  Best-effort clients keep the
+        #: baselines' count-and-carry-on semantics.
+        self._report_failures = bool(config is not None and config.durable)
 
     def connect(self):
         """Nothing to pre-establish: the first POST dials the server."""
@@ -106,16 +111,21 @@ class HttpPostCaptureTransport(CaptureTransport):
     def _post(self, body: bytes, done):
         self.body_bytes.record(len(body))
         energy = self.device.energy
+        error: Optional[Exception] = None
         if energy is not None:
             energy.rx_listen_start()
         try:
             response = yield from self.session.post(self.server, self.path, body)
             if not response.ok:
                 self.capture_errors.record()
-        except HttpRequestError:
+                error = HttpRequestError(
+                    f"collector rejected capture POST: {response.status}"
+                )
+        except HttpRequestError as exc:
             # like the real libraries: log and carry on, never crash the
             # instrumented application
             self.capture_errors.record()
+            error = exc
         finally:
             # an unexpected exception still unblocks the waiting capture
             # call (the failed post process surfaces it loudly); a parked
@@ -124,7 +134,10 @@ class HttpPostCaptureTransport(CaptureTransport):
                 energy.rx_listen_stop()
             self.requests_sent.record()
             if not done.triggered:
-                done.succeed()
+                if error is not None and self._report_failures:
+                    done.fail(error)
+                else:
+                    done.succeed()
 
     def disconnect(self) -> None:
         self.session.close()

@@ -20,8 +20,16 @@ blocking HTTP/1.1 POST).  Adding one is three steps — subclass
 :func:`register_transport` — see ``docs/capture-api.md``.
 """
 
-from .client import CaptureClient, CaptureClosedError
+from .client import CaptureClient, CaptureClosedError, CaptureSenderError
 from .config import DEFAULT_TRANSPORT, CaptureConfig
+from .envelope import ReplayDeduper, unwrap_payload, wrap_payload
+from .journal import (
+    CaptureJournal,
+    EcdsaRecordSigner,
+    HmacRecordSigner,
+    JournalError,
+    TamperError,
+)
 from .registry import (
     create_client,
     create_transport,
@@ -38,8 +46,15 @@ __all__ = [
     "CaptureClient",
     "CaptureClosedError",
     "CaptureConfig",
+    "CaptureJournal",
+    "CaptureSenderError",
     "CaptureTransport",
     "DEFAULT_TRANSPORT",
+    "EcdsaRecordSigner",
+    "HmacRecordSigner",
+    "JournalError",
+    "ReplayDeduper",
+    "TamperError",
     "create_client",
     "create_transport",
     "deploy_capture_sink",
@@ -48,4 +63,6 @@ __all__ = [
     "register_transport",
     "transport_names",
     "unregister_transport",
+    "unwrap_payload",
+    "wrap_payload",
 ]

@@ -50,12 +50,33 @@ class CaptureConfig:
     #: optional :class:`~repro.core.security.PayloadCipher` for
     #: authenticated payload encryption
     cipher: Optional[Any] = None
-    #: explicit client identity (transports that need one generate it)
+    #: explicit client identity (transports that need one generate it;
+    #: durable clients also key their journal and dedup identity on it,
+    #: falling back to the stable ``device-name/topic`` pair)
     client_id: Optional[str] = None
     #: calibrated client-side costs (Table VII/VIII fits)
     costs: ProvLightCosts = PROVLIGHT_COSTS
     #: calibrated resident/per-message memory footprints (Fig. 6b fits)
     footprints: MemoryFootprints = MEMORY_FOOTPRINTS
+    #: write every outbound payload through an append-only WAL journal
+    #: before dispatch; unacknowledged entries survive crashes and are
+    #: replayed on reconnect (at-least-once, deduplicated server-side)
+    durable: bool = False
+    #: directory holding the journal database (durable clients only);
+    #: ``None`` uses :data:`repro.capture.journal.DEFAULT_JOURNAL_DIR`
+    journal_dir: Optional[str] = None
+    #: optional record signer (``sign``/``verify``/``algorithm``) for
+    #: HyperProv-style tamper-evident journals — see
+    #: :class:`~repro.capture.journal.HmacRecordSigner` and
+    #: :class:`~repro.capture.journal.EcdsaRecordSigner`
+    signer: Optional[Any] = None
+    #: reconnect backoff: first delay, growth factor, ceiling, jitter
+    #: fraction (each delay is scaled by ``1 ± jitter * U``) — the state
+    #: machine in :class:`~repro.capture.CaptureClient` uses these
+    reconnect_base_s: float = 0.5
+    reconnect_factor: float = 2.0
+    reconnect_max_s: float = 30.0
+    reconnect_jitter: float = 0.1
 
     def __post_init__(self):
         if not self.transport or not isinstance(self.transport, str):
@@ -64,6 +85,14 @@ class CaptureConfig:
             raise ValueError(f"group_size must be >= 0, got {self.group_size}")
         if self.qos not in (0, 1, 2):
             raise ValueError(f"qos must be 0, 1 or 2, got {self.qos}")
+        if self.reconnect_base_s <= 0:
+            raise ValueError(f"reconnect_base_s must be > 0, got {self.reconnect_base_s}")
+        if self.reconnect_factor < 1.0:
+            raise ValueError(f"reconnect_factor must be >= 1, got {self.reconnect_factor}")
+        if self.reconnect_max_s < self.reconnect_base_s:
+            raise ValueError("reconnect_max_s must be >= reconnect_base_s")
+        if not 0.0 <= self.reconnect_jitter < 1.0:
+            raise ValueError(f"reconnect_jitter must be in [0, 1), got {self.reconnect_jitter}")
 
     def with_(self, **changes) -> "CaptureConfig":
         """A copy of this config with ``changes`` applied."""
@@ -79,4 +108,6 @@ class CaptureConfig:
             parts.append(f"qos={self.qos}")
         if self.cipher is not None:
             parts.append("encrypted")
+        if self.durable:
+            parts.append("durable")
         return " ".join(parts)

@@ -52,12 +52,22 @@ def deploy_capture_sink(
     if transport == "http":
         from ..core.translator import Translator
         from ..http import HttpResponse, HttpServer
+        from .envelope import ReplayDeduper, unwrap_payload
 
         translator = Translator(target)
+        deduper = ReplayDeduper()
 
         def collector(request):
             try:
-                _, translated = translator.translate_payload(request.body)
+                body = request.body
+                envelope = unwrap_payload(body)
+                if envelope is not None:
+                    client_id, seq, body = envelope
+                    if deduper.is_duplicate(client_id, seq):
+                        # a replayed POST the collector already ingested:
+                        # still 201 so the durable client acks its journal
+                        return HttpResponse(status=201, reason="Created")
+                _, translated = translator.translate_payload(body)
                 ingest(translated)
             except Exception:
                 pass  # capture loss must not crash the collector

@@ -66,12 +66,30 @@ class CaptureTransport:
     def send(self, payload: bytes):
         """Ship one opaque payload; returns the completion event.
 
-        The event may *fail* (QoS retries exhausted, server missing).
-        The façade swallows the failure — capture loss must never crash
-        the instrumented workflow — so transports are free to surface
-        delivery errors through it.
+        The completion event doubles as the transport's **ack hook**: it
+        must *succeed* only once the transport's delivery contract for
+        this payload is fulfilled (QoS 2: PUBCOMP; CoAP CON: ACK; HTTP:
+        2xx response) and *fail* when the contract is exhausted (retries
+        spent, server missing).  A non-durable façade swallows the
+        failure — capture loss must never crash the instrumented
+        workflow; a durable façade keeps the journaled entry
+        unacknowledged and replays it after :meth:`reconnect`.
         """
         raise NotImplementedError
+
+    def reconnect(self, topic: str):
+        """Generator: re-establish the session after a delivery failure.
+
+        Called by the durable client's reconnect state machine between
+        backoff delays; it may raise (the uplink is still down), in
+        which case the machine backs off and retries.  The default
+        re-runs the connect/register handshake and returns the fresh
+        topic handle; connectionless transports inherit this as a no-op
+        probe (their first replayed ``send()`` is the real probe).
+        """
+        yield from self.connect()
+        handle = yield from self.register(topic)
+        return handle
 
     def disconnect(self) -> None:
         """Tear down the session (fire and forget)."""

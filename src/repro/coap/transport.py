@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..calibration import SERVER_COSTS
 from ..capture import CaptureClient, CaptureConfig, CaptureTransport, register_transport
+from ..capture.envelope import ReplayDeduper, unwrap_payload
 from ..core.translator import Translator
 from ..device import Device
 from ..net import Endpoint, Host
@@ -43,6 +44,10 @@ class ProvLightCoapServer:
         self.server = CoapServer(host, port)
         self.records_ingested = Counter("records")
         self.translate_errors = Counter("errors")
+        #: CoAP CON is at-least-once on the wire; durable clients add a
+        #: (client_id, seq) envelope and this index drops the replays
+        self.deduper = ReplayDeduper()
+        self.duplicates_dropped = Counter("duplicates-dropped")
         self._inbox: Store = Store(self.env)
         self.server.route(DEFAULT_CAPTURE_PATH, self._on_post)
         self.env.process(self._work_loop(), name="coap-prov-translator")
@@ -59,6 +64,16 @@ class ProvLightCoapServer:
         device = self.host.device
         while True:
             payload = yield self._inbox.get()
+            try:
+                envelope = unwrap_payload(payload)
+            except Exception:
+                self.translate_errors.record()
+                continue
+            if envelope is not None:
+                client_id, seq, payload = envelope
+                if self.deduper.is_duplicate(client_id, seq):
+                    self.duplicates_dropped.record()
+                    continue
             try:
                 records, translated = self.translator.translate_payload(payload)
             except Exception:

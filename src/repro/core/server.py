@@ -36,6 +36,7 @@ import json
 from typing import Any, Callable, Iterable, List, Sequence, Tuple
 
 from ..calibration import SERVER_COSTS, ServerCosts
+from ..capture.envelope import ReplayDeduper, unwrap_payload
 from ..hashring import ConsistentHashRing
 from ..http import HttpSession
 from ..mqttsn import BrokerCluster, DEFAULT_BROKER_PORT, MqttSnClient
@@ -182,6 +183,21 @@ class _TranslatorWorker:
             work = 0.0
             translated_batch: List[Tuple[list, Any]] = []
             for _topic, payload in batch:
+                # durable clients wrap payloads in a (client_id, seq)
+                # envelope: peek it *before* paying any translate cost
+                # and drop replays already ingested — this is what turns
+                # the client's at-least-once delivery into exactly-once
+                # backend ingestion
+                try:
+                    envelope = unwrap_payload(payload)
+                except Exception:
+                    server.translate_errors.record()
+                    continue
+                if envelope is not None:
+                    client_id, seq, payload = envelope
+                    if server.deduper.is_duplicate(client_id, seq):
+                        server.duplicates_dropped.record()
+                        continue
                 try:
                     records, translated = server.translator.translate_payload(payload)
                 except Exception:
@@ -305,6 +321,11 @@ class ProvLightServer:
         self.translators: List[_TranslatorWorker] = []
         self.records_ingested = Counter("records-ingested")
         self.translate_errors = Counter("translate-errors")
+        #: replay dedup shared by every pool worker — a client publishes
+        #: to one topic, so all its payloads land on one worker, but the
+        #: index is server-wide so re-sharding can never unsee a seq
+        self.deduper = ReplayDeduper()
+        self.duplicates_dropped = Counter("duplicates-dropped")
 
     def add_translator(self, topic_filter: str):
         """Generator: attach ``topic_filter`` to the translator pool.

@@ -7,6 +7,7 @@ sockets exactly like their real counterparts build on the OS.
 """
 
 from .dispatcher import UdpShardDispatcher, VirtualSocket
+from .faults import LinkFaultInjector
 from .host import Host, PortInUse
 from .link import Link
 from .netem import NetworkConstraint, apply_constraints, parse_delay, parse_rate
@@ -19,6 +20,7 @@ __all__ = [
     "Host",
     "PortInUse",
     "Link",
+    "LinkFaultInjector",
     "Network",
     "UnroutableError",
     "NetworkConstraint",

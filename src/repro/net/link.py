@@ -11,6 +11,18 @@ The timing model is classic store-and-forward:
 * *loss*: each packet is dropped independently with probability
   ``loss`` after serialization (the transmitter still paid the time).
 
+Beyond uniform loss, the link models the two failure shapes edge
+uplinks actually exhibit:
+
+* *burst loss* (Gilbert-Elliott): a two-state Markov chain advanced per
+  packet — in the *good* state packets see the uniform ``loss``; in the
+  *bad* state they are dropped with ``burst_loss``.  Transitions happen
+  with ``p_enter_burst`` / ``p_exit_burst``, so mean burst length is
+  ``1 / p_exit_burst`` packets.
+* *partition*: :meth:`partition` takes the link down entirely — every
+  packet reaching the head of the queue is dropped until :meth:`heal`.
+  Fault injectors flap this to exercise reconnect/replay machinery.
+
 Parameters may be changed at runtime (the E2Clab network manager does
 this to emulate ``tc netem`` reconfiguration); queued packets pick up the
 new values when they reach the head of the queue.
@@ -42,6 +54,9 @@ class Link:
         latency_s: float,
         jitter_s: float = 0.0,
         loss: float = 0.0,
+        burst_loss: float = 0.0,
+        p_enter_burst: float = 0.0,
+        p_exit_burst: float = 0.5,
         rng: Optional[np.random.Generator] = None,
     ):
         if bandwidth_bps <= 0:
@@ -50,6 +65,12 @@ class Link:
             raise ValueError("latency must be >= 0")
         if not 0.0 <= loss < 1.0:
             raise ValueError("loss must be in [0, 1)")
+        if not 0.0 <= burst_loss <= 1.0:
+            raise ValueError("burst_loss must be in [0, 1]")
+        if not 0.0 <= p_enter_burst <= 1.0:
+            raise ValueError("p_enter_burst must be in [0, 1]")
+        if not 0.0 < p_exit_burst <= 1.0:
+            raise ValueError("p_exit_burst must be in (0, 1]")
         self.env = env
         self.src = src
         self.dst = dst
@@ -57,6 +78,13 @@ class Link:
         self.latency_s = float(latency_s)
         self.jitter_s = float(jitter_s)
         self.loss = float(loss)
+        self.burst_loss = float(burst_loss)
+        self.p_enter_burst = float(p_enter_burst)
+        self.p_exit_burst = float(p_exit_burst)
+        #: Gilbert-Elliott state: True while in the lossy burst state
+        self._in_burst = False
+        #: administratively up; False drops everything (partition)
+        self.up = True
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._queue: Store = Store(env)
         self.tx_bytes = Counter(f"{src}->{dst}")
@@ -70,6 +98,9 @@ class Link:
         latency_s: Optional[float] = None,
         jitter_s: Optional[float] = None,
         loss: Optional[float] = None,
+        burst_loss: Optional[float] = None,
+        p_enter_burst: Optional[float] = None,
+        p_exit_burst: Optional[float] = None,
     ) -> None:
         """Change link parameters at runtime."""
         if bandwidth_bps is not None:
@@ -86,6 +117,31 @@ class Link:
             if not 0.0 <= loss < 1.0:
                 raise ValueError("loss must be in [0, 1)")
             self.loss = float(loss)
+        if burst_loss is not None:
+            if not 0.0 <= burst_loss <= 1.0:
+                raise ValueError("burst_loss must be in [0, 1]")
+            self.burst_loss = float(burst_loss)
+        if p_enter_burst is not None:
+            if not 0.0 <= p_enter_burst <= 1.0:
+                raise ValueError("p_enter_burst must be in [0, 1]")
+            self.p_enter_burst = float(p_enter_burst)
+        if p_exit_burst is not None:
+            if not 0.0 < p_exit_burst <= 1.0:
+                raise ValueError("p_exit_burst must be in (0, 1]")
+            self.p_exit_burst = float(p_exit_burst)
+
+    # -- partition (administrative up/down) ---------------------------------
+    def partition(self) -> None:
+        """Take the link down: drop every packet until :meth:`heal`.
+
+        Packets already propagating keep flying (they left the wire before
+        the cut); packets in or behind serialization are dropped.
+        """
+        self.up = False
+
+    def heal(self) -> None:
+        """Bring a partitioned link back up."""
+        self.up = True
 
     # -- transmission -----------------------------------------------------------
     def send(self, packet: Packet, deliver: DeliverFn) -> None:
@@ -104,7 +160,7 @@ class Link:
             # serialization (transmitter occupied)
             yield env.timeout(packet.size * 8.0 / self.bandwidth_bps)
             self.tx_bytes.record(packet.size)
-            if self.loss > 0.0 and self.rng.random() < self.loss:
+            if not self.up or self._drop(packet):
                 self.dropped.record(packet.size)
                 continue
             delay = self.latency_s
@@ -112,12 +168,28 @@ class Link:
                 delay = max(0.0, delay + float(self.rng.normal(0.0, self.jitter_s)))
             env.process(self._propagate(delay, packet, deliver))
 
+    def _drop(self, packet: Packet) -> bool:
+        """Sample the loss model for one packet (advances burst state)."""
+        if self.p_enter_burst > 0.0 or self._in_burst:
+            # Gilbert-Elliott: transition first, then sample the state's
+            # loss rate, so a burst's first packet already sees burst_loss
+            if self._in_burst:
+                if self.rng.random() < self.p_exit_burst:
+                    self._in_burst = False
+            elif self.rng.random() < self.p_enter_burst:
+                self._in_burst = True
+            rate = self.burst_loss if self._in_burst else self.loss
+        else:
+            rate = self.loss
+        return rate > 0.0 and self.rng.random() < rate
+
     def _propagate(self, delay: float, packet: Packet, deliver: DeliverFn):
         yield self.env.timeout(delay)
         deliver(packet)
 
     def __repr__(self) -> str:
+        state = "" if self.up else " DOWN"
         return (
             f"<Link {self.src}->{self.dst} {self.bandwidth_bps:.0f}bps "
-            f"{self.latency_s * 1000:.1f}ms loss={self.loss}>"
+            f"{self.latency_s * 1000:.1f}ms loss={self.loss}{state}>"
         )

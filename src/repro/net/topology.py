@@ -87,7 +87,7 @@ class Network:
         """Reconfigure both directions between ``a`` and ``b`` (netem-style).
 
         Accepted params: ``bandwidth_bps``, ``latency_s``, ``jitter_s``,
-        ``loss``.
+        ``loss``, ``burst_loss``, ``p_enter_burst``, ``p_exit_burst``.
         """
         self.link(a, b).configure(**params)
         self.link(b, a).configure(**params)

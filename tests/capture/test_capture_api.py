@@ -29,8 +29,15 @@ EXPECTED_ALL = [
     "CaptureClient",
     "CaptureClosedError",
     "CaptureConfig",
+    "CaptureJournal",
+    "CaptureSenderError",
     "CaptureTransport",
     "DEFAULT_TRANSPORT",
+    "EcdsaRecordSigner",
+    "HmacRecordSigner",
+    "JournalError",
+    "ReplayDeduper",
+    "TamperError",
     "create_client",
     "create_transport",
     "deploy_capture_sink",
@@ -39,6 +46,8 @@ EXPECTED_ALL = [
     "register_transport",
     "transport_names",
     "unregister_transport",
+    "unwrap_payload",
+    "wrap_payload",
 ]
 
 

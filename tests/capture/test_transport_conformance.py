@@ -26,8 +26,19 @@ from repro.simkernel import Environment
 ALL_TRANSPORTS = transport_names()
 
 
+@pytest.fixture(params=[False, True], ids=["besteffort", "durable"])
+def durable(request):
+    """Run every conformance test twice: best-effort and durable.
+
+    The durable client adds a write-ahead journal, a dedup envelope and
+    the reconnect machinery — none of which may change the façade's
+    observable contracts on a healthy network.
+    """
+    return request.param
+
+
 def make_world(transport, group_size=0, latency=0.01, bandwidth=1e9,
-               loss=0.0, with_server=True):
+               loss=0.0, with_server=True, durable=False, journal_dir=None):
     """One edge device + the capture sink matching ``transport``.
 
     Returns ``(env, device, client, received)`` where ``received``
@@ -41,7 +52,9 @@ def make_world(transport, group_size=0, latency=0.01, bandwidth=1e9,
     net.connect("edge", "cloud", bandwidth_bps=bandwidth, latency_s=latency,
                 loss=loss)
     received = []
-    config = CaptureConfig(transport=transport, group_size=group_size)
+    config = CaptureConfig(transport=transport, group_size=group_size,
+                           durable=durable, journal_dir=journal_dir,
+                           reconnect_base_s=0.2, reconnect_max_s=2.0)
     pre = None
     if transport == "mqttsn":
         if with_server:
@@ -98,8 +111,9 @@ def run_workflow(env, client, pre=None, n_tasks=2, attrs=10, drain=True):
 
 
 @pytest.mark.parametrize("transport", ALL_TRANSPORTS)
-def test_setup_is_idempotent(transport):
-    env, dev, client, received, pre = make_world(transport)
+def test_setup_is_idempotent(transport, durable, tmp_path):
+    env, dev, client, received, pre = make_world(
+        transport, durable=durable, journal_dir=str(tmp_path))
     marks = {}
 
     def proc(env):
@@ -122,8 +136,9 @@ def test_setup_is_idempotent(transport):
 
 
 @pytest.mark.parametrize("transport", ALL_TRANSPORTS)
-def test_records_reach_the_sink(transport):
-    env, dev, client, received, pre = make_world(transport)
+def test_records_reach_the_sink(transport, durable, tmp_path):
+    env, dev, client, received, pre = make_world(
+        transport, durable=durable, journal_dir=str(tmp_path))
     done = run_workflow(env, client, pre, n_tasks=3)
     env.run(until=120)
     assert done["ok"]
@@ -135,8 +150,9 @@ def test_records_reach_the_sink(transport):
 
 
 @pytest.mark.parametrize("transport", ALL_TRANSPORTS)
-def test_drain_completes_after_flush(transport):
-    env, dev, client, received, pre = make_world(transport, group_size=4)
+def test_drain_completes_after_flush(transport, durable, tmp_path):
+    env, dev, client, received, pre = make_world(
+        transport, group_size=4, durable=durable, journal_dir=str(tmp_path))
     marks = {}
 
     def proc(env):
@@ -166,15 +182,17 @@ def test_drain_completes_after_flush(transport):
 
 
 @pytest.mark.parametrize("transport", ALL_TRANSPORTS)
-def test_loss_never_crashes_the_workflow(transport):
+def test_loss_never_crashes_the_workflow(transport, durable, tmp_path):
     """Datagram loss (async transports) and server outages (blocking
     HTTP) must degrade to lost records, never to workflow exceptions."""
     if transport == "http":
         # hardest failure for a blocking transport: nothing listening
-        env, dev, client, received, pre = make_world(transport,
-                                                     with_server=False)
+        env, dev, client, received, pre = make_world(
+            transport, with_server=False, durable=durable,
+            journal_dir=str(tmp_path))
     else:
-        env, dev, client, received, pre = make_world(transport, loss=0.25)
+        env, dev, client, received, pre = make_world(
+            transport, loss=0.25, durable=durable, journal_dir=str(tmp_path))
     done = run_workflow(env, client, pre, n_tasks=3, drain=False)
     env.run(until=300)
     assert done["ok"]
@@ -182,8 +200,9 @@ def test_loss_never_crashes_the_workflow(transport):
 
 
 @pytest.mark.parametrize("transport", ALL_TRANSPORTS)
-def test_close_frees_static_memory(transport):
-    env, dev, client, received, pre = make_world(transport)
+def test_close_frees_static_memory(transport, durable, tmp_path):
+    env, dev, client, received, pre = make_world(
+        transport, durable=durable, journal_dir=str(tmp_path))
     done = run_workflow(env, client, pre, n_tasks=1)
     env.run(until=60)
     assert done["ok"]
@@ -195,8 +214,9 @@ def test_close_frees_static_memory(transport):
 
 
 @pytest.mark.parametrize("transport", ALL_TRANSPORTS)
-def test_capture_after_close_rejected(transport):
-    env, dev, client, received, pre = make_world(transport)
+def test_capture_after_close_rejected(transport, durable, tmp_path):
+    env, dev, client, received, pre = make_world(
+        transport, durable=durable, journal_dir=str(tmp_path))
     done = run_workflow(env, client, pre, n_tasks=1)
     env.run(until=60)
     assert done["ok"]
