@@ -31,4 +31,10 @@ done
 echo "durability smoke: examples/flaky_uplink.py"
 python examples/flaky_uplink.py
 
+# chaos smoke: the fan-in example kills a broker shard *and* flaps the
+# backend link mid-stream, asserting failover + circuit-breaker spill
+# recovery end exactly-once — the fault-tolerance contract, run loudly
+echo "chaos smoke: examples/chaos_fanin.py"
+python examples/chaos_fanin.py
+
 python scripts/run_benchmarks.py --quick

@@ -51,6 +51,7 @@ BENCH_FILES = [
     REPO_ROOT / "benchmarks" / "test_microbench_codecs.py",
     REPO_ROOT / "benchmarks" / "test_broker_routing_scale.py",
     REPO_ROOT / "benchmarks" / "test_broker_shard_scale.py",
+    REPO_ROOT / "benchmarks" / "test_shard_failover.py",
 ]
 OUTPUT_FILE = REPO_ROOT / "BENCH_microbench_codecs.json"
 BASELINE_FILE = REPO_ROOT / "benchmarks" / "baseline_microbench_codecs.json"
@@ -195,6 +196,22 @@ def headline(benchmarks: dict, sizes: dict) -> dict:
         per_bundle = entry.get("extra_info", {}).get("dispatch_datagrams_per_bundle")
         if per_bundle:
             out["dispatch_amortization_datagrams_per_bundle_8_shards"] = per_bundle
+    # fault tolerance: the end-to-end publish outage a durable client
+    # rides through when a shard dies (detection + reconnect + replay),
+    # and the fan-in rate the plane keeps after losing 1 of 4 shards
+    entry = benchmarks.get("test_failover_recovery")
+    if entry:
+        recovery = entry.get("extra_info", {}).get("failover_recovery_ms")
+        if recovery:
+            out["failover_recovery_ms"] = recovery
+    entry = benchmarks.get("test_degraded_cluster_publish_throughput")
+    if entry:
+        degraded = entry.get("extra_info", {}).get("simulated_msgs_per_s")
+        healthy = shard_throughput(4)
+        if degraded and healthy:
+            out["degraded_throughput_3_of_4_shards"] = round(
+                degraded / healthy, 2
+            )
     # durable capture: what the WAL write-through adds on top of encoding
     # one 100-attr record (the per-record client cost of durable=True)
     wal = median("test_journal_append_100_attrs")

@@ -20,6 +20,8 @@ so the wire stays backward compatible.
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Dict, Optional, Set, Tuple
 
 __all__ = [
@@ -105,32 +107,116 @@ class ReplayDeduper:
     above the floor; acked-in-order traffic therefore costs O(1) memory
     per client, and out-of-order replays only cost memory for the gap
     they straddle.
+
+    :meth:`seen` and :meth:`mark` split the check from the record so a
+    crash-supervised sink can check *before* translating but mark only
+    *after* the backend accepted the batch — marking at check time would
+    make a crash-then-requeue drop the requeued records as "duplicates".
+    :meth:`is_duplicate` keeps the one-shot check-and-record semantics
+    for sinks whose ingest cannot crash mid-way.
+
+    With ``state_path`` every mark is appended to a JSON-lines file and
+    the index is rebuilt (then compacted) on construction, so a sink
+    restart does not re-ingest records a durable client replays.
     """
 
-    def __init__(self):
+    def __init__(self, state_path: Optional[str] = None):
         self._floor: Dict[str, int] = {}
         self._above: Dict[str, Set[int]] = {}
+        self._state_path = state_path
+        self._state_file = None
+        if state_path is not None:
+            self._recover(state_path)
 
-    def is_duplicate(self, client_id: str, seq: int) -> bool:
-        """True when this pair was already ingested; records it otherwise."""
+    # ------------------------------------------------------------- queries
+    def seen(self, client_id: str, seq: int) -> bool:
+        """True when this pair was already marked (pure check)."""
+        if seq <= self._floor.get(client_id, 0):
+            return True
+        above = self._above.get(client_id)
+        return above is not None and seq in above
+
+    def mark(self, client_id: str, seq: int) -> None:
+        """Record the pair as ingested (idempotent)."""
         floor = self._floor.get(client_id, 0)
         if seq <= floor:
-            return True
+            return
         above = self._above.get(client_id)
         if above is None:
             above = self._above[client_id] = set()
         if seq in above:
-            return True
+            return
         above.add(seq)
         while floor + 1 in above:
             floor += 1
             above.discard(floor)
         self._floor[client_id] = floor
+        if self._state_file is not None:
+            self._state_file.write(json.dumps([client_id, seq]) + "\n")
+            self._state_file.flush()
+
+    def is_duplicate(self, client_id: str, seq: int) -> bool:
+        """True when this pair was already ingested; records it otherwise."""
+        if self.seen(client_id, seq):
+            return True
+        self.mark(client_id, seq)
         return False
 
     def floor(self, client_id: str) -> int:
         """Highest contiguous sequence number seen for ``client_id``."""
         return self._floor.get(client_id, 0)
+
+    # --------------------------------------------------------- persistence
+    def _recover(self, state_path: str) -> None:
+        """Rebuild the index from the append log, then compact it.
+
+        The log is replayed line by line (a torn final line from a crash
+        mid-append is skipped — its record was never acked as ingested
+        either, so the replayed payload will simply be ingested again)
+        and rewritten as one entry per client floor plus the sparse
+        above-floor pairs.
+        """
+        if os.path.exists(state_path):
+            with open(state_path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail write: at-least-once covers it
+                    if not isinstance(entry, list):
+                        continue
+                    if len(entry) == 3 and entry[0] == "floor":
+                        # compacted floor line: every seq <= floor was seen
+                        _, client_id, floor = entry
+                        if floor > self._floor.get(client_id, 0):
+                            self._floor[client_id] = floor
+                            above = self._above.get(client_id)
+                            if above is not None:
+                                self._above[client_id] = {
+                                    s for s in above if s > floor
+                                }
+                    elif len(entry) == 2:
+                        client_id, seq = entry
+                        self.mark(client_id, seq)
+        tmp_path = state_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            for client_id, floor in self._floor.items():
+                if floor > 0:
+                    fh.write(json.dumps(["floor", client_id, floor]) + "\n")
+            for client_id, above in self._above.items():
+                for seq in sorted(above):
+                    fh.write(json.dumps([client_id, seq]) + "\n")
+        os.replace(tmp_path, state_path)
+        self._state_file = open(state_path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        """Close the persistence handle (state remains on disk)."""
+        if self._state_file is not None:
+            self._state_file.close()
+            self._state_file = None
 
     def __repr__(self) -> str:
         return f"<ReplayDeduper clients={len(self._floor)}>"

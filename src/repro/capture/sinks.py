@@ -15,7 +15,7 @@ for their adapters, so importing them at module time would be circular.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 from .registry import normalize_transport
 
@@ -32,6 +32,7 @@ def deploy_capture_sink(
     target: str = "dfanalyzer",
     http_port: int = DEFAULT_HTTP_SINK_PORT,
     http_workers: int = 1,
+    dedup_state_path: Optional[str] = None,
 ) -> Tuple[object, Tuple[str, int]]:
     """Deploy the capture sink for ``transport`` on ``host``.
 
@@ -41,6 +42,11 @@ def deploy_capture_sink(
     ``mqttsn`` sink is *not* built here — construct a
     :class:`~repro.core.server.ProvLightServer` directly (its worker and
     shard knobs belong to the deployment).
+
+    ``dedup_state_path`` makes the HTTP collector's replay-dedup index
+    durable: a restarted collector recovering from the same path keeps
+    rejecting ``(client_id, seq)`` pairs it ingested before the crash,
+    so journal replays stay exactly-once across sink restarts.
     """
     transport = normalize_transport(transport)
     if transport == "coap":
@@ -55,7 +61,7 @@ def deploy_capture_sink(
         from .envelope import ReplayDeduper, unwrap_payload
 
         translator = Translator(target)
-        deduper = ReplayDeduper()
+        deduper = ReplayDeduper(state_path=dedup_state_path)
 
         def collector(request):
             try:

@@ -18,6 +18,13 @@ from .model import (
     count_attributes_from_record,
 )
 from .provdm import ProvDocument, ProvError, document_from_records
+from .resilience import (
+    BackendError,
+    BackendTimeout,
+    CircuitBreaker,
+    RetryPolicy,
+    RetryableBackendError,
+)
 from .security import AuthenticationError, PayloadCipher, derive_key
 from .serialization import (
     CodecError,
@@ -58,6 +65,11 @@ __all__ = [
     "DEFAULT_BROKER_SHARDS",
     "CallableBackend",
     "HttpBackend",
+    "BackendError",
+    "RetryableBackendError",
+    "BackendTimeout",
+    "RetryPolicy",
+    "CircuitBreaker",
     "GroupBuffer",
     "ProvDocument",
     "ProvError",

@@ -33,7 +33,10 @@ when present.
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Iterable, List, Sequence, Tuple
+import random
+import zlib
+from collections import deque
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..calibration import SERVER_COSTS, ServerCosts
 from ..capture.envelope import ReplayDeduper, unwrap_payload
@@ -42,6 +45,13 @@ from ..http import HttpSession
 from ..mqttsn import BrokerCluster, DEFAULT_BROKER_PORT, MqttSnClient
 from ..net import Endpoint, Host
 from ..simkernel import Counter, Store
+from .resilience import (
+    BackendError,
+    BackendTimeout,
+    CircuitBreaker,
+    RetryPolicy,
+    RetryableBackendError,
+)
 from .translator import Translator
 
 __all__ = [
@@ -83,24 +93,70 @@ class CallableBackend:
 
 
 class HttpBackend:
-    """Adapter POSTing translated records to a provenance system's API."""
+    """Adapter POSTing translated records to a provenance system's API.
 
-    def __init__(self, host: Host, endpoint: Endpoint, path: str = "/pde"):
+    Failures flow through a :class:`~repro.core.resilience.RetryPolicy`
+    (transient faults — connection loss, timeouts, 5xx — are retried
+    with backoff; 4xx rejections raise :class:`BackendError` unretried)
+    and a :class:`~repro.core.resilience.CircuitBreaker`.  While the
+    breaker is open, ingest calls *spill* into a bounded in-memory queue
+    instead of blocking a pool worker on a doomed request; a background
+    drain delivers the spill once the backend recovers.  When the spill
+    bound is hit, the oldest entries are shed (dropped, counted in
+    :attr:`shed`) — under a long outage the backend degrades to keeping
+    the freshest window rather than stalling the whole translator plane.
+
+    ``timeout_s`` bounds each request on the simulation clock; a timed
+    out request abandons the in-flight exchange, poisons the pooled
+    connection (a late response must not be handed to the next request)
+    and surfaces as a retryable :class:`BackendTimeout`.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        endpoint: Endpoint,
+        path: str = "/pde",
+        timeout_s: Optional[float] = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        spill_limit: int = 512,
+        drain_max_probes: int = 25,
+    ):
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0 (or None to disable)")
+        if spill_limit < 1:
+            raise ValueError("spill_limit must be >= 1")
         self.session = HttpSession(host)
+        self.env = host.env
         self.endpoint = endpoint
         self.path = path
+        self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker(host.env)
+        )
+        self.spill_limit = spill_limit
+        self.drain_max_probes = drain_max_probes
         self.delivered = Counter("backend-delivered")
         self.requests = Counter("backend-requests")
+        self.retries = Counter("backend-retries")
+        self.spilled = Counter("backend-spilled")
+        self.spill_drained = Counter("backend-spill-drained")
+        self.shed = Counter("backend-shed")
+        self._spill: deque = deque()
+        self._drainer = None
+
+    @property
+    def pending_spill(self) -> int:
+        """Translated groups parked in the spill queue."""
+        return sum(groups for _, groups in self._spill)
 
     def ingest(self, translated: Any):
         # compact separators: backend POST bodies are real wire bytes in
         # the simulation, so whitespace would inflate every ingest
         body = json.dumps(translated, default=str, separators=(",", ":")).encode()
-        response = yield from self.session.post(self.endpoint, self.path, body)
-        if not response.ok:
-            raise RuntimeError(f"backend rejected ingest: {response.status}")
-        self.delivered.record()
-        self.requests.record(len(body))
+        yield from self._submit(body, 1)
 
     def ingest_batch(self, batch: Sequence[Any]):
         """Pipelined ingest: one bulk POST (a JSON array body) covers the
@@ -110,16 +166,149 @@ class HttpBackend:
             yield from self.ingest(batch[0])
             return
         body = json.dumps(list(batch), default=str, separators=(",", ":")).encode()
-        response = yield from self.session.post(self.endpoint, self.path, body)
-        if not response.ok:
-            raise RuntimeError(f"backend rejected bulk ingest: {response.status}")
-        for _ in batch:  # delivered.count stays group-denominated
-            self.delivered.record()
-        self.requests.record(len(body))
+        yield from self._submit(body, len(batch))
+
+    # ------------------------------------------------------------ internals
+    def _post(self, body: bytes):
+        """Generator: one POST, bounded by ``timeout_s`` on the sim clock."""
+        if self.timeout_s is None:
+            response = yield from self.session.post(self.endpoint, self.path, body)
+            return response
+        request = self.env.process(
+            self.session.post(self.endpoint, self.path, body),
+            name="backend-post",
+        )
+        timeout = self.env.timeout(self.timeout_s)
+        yield self.env.any_of((request, timeout))
+        if request.triggered:
+            return request.value
+        # Timed out: abandon the exchange.  The request process is still
+        # parked inside the response read — defuse before interrupting so
+        # its failure cannot crash the simulation — and the pooled
+        # connection now carries a half-finished exchange, so poison it.
+        request.defused = True
+        request.interrupt("backend timeout")
+        self.session.invalidate(self.endpoint)
+        raise BackendTimeout(
+            f"backend {self.endpoint} did not answer within {self.timeout_s}s"
+        )
+
+    def _submit(self, body: bytes, groups: int):
+        """Generator: deliver ``body`` through retry + breaker, else spill."""
+        if not self.breaker.allow():
+            self._spill_body(body, groups)
+            return
+        attempt = 0
+        while True:
+            try:
+                response = yield from self._post(body)
+                if not response.ok:
+                    if 500 <= response.status < 600:
+                        raise RetryableBackendError(
+                            f"backend unavailable: {response.status}"
+                        )
+                    raise BackendError(
+                        f"backend rejected ingest: {response.status}"
+                    )
+            except BaseException as exc:
+                if not self.retry.classify(exc):
+                    raise
+                self.breaker.record_failure()
+                self.retries.record()
+                attempt += 1
+                if (
+                    attempt >= self.retry.max_attempts
+                    or self.breaker.state != CircuitBreaker.CLOSED
+                ):
+                    self._spill_body(body, groups)
+                    return
+                yield self.env.timeout(self.retry.delay(attempt - 1))
+                continue
+            self.breaker.record_success()
+            for _ in range(groups):
+                self.delivered.record()
+            self.requests.record(len(body))
+            if self._spill:
+                self._ensure_drainer()
+            return
+
+    def _spill_body(self, body: bytes, groups: int) -> None:
+        while len(self._spill) >= self.spill_limit:
+            _, shed_groups = self._spill.popleft()  # load shedding: oldest first
+            self.shed.record(shed_groups)
+        self._spill.append((body, groups))
+        self.spilled.record(groups)
+        self._ensure_drainer()
+
+    def _ensure_drainer(self) -> None:
+        if self._drainer is None or not self._drainer.is_alive:
+            self._drainer = self.env.process(
+                self._drain_loop(), name=f"backend-drain-{self.endpoint[0]}"
+            )
+
+    def _drain_loop(self):
+        """Deliver the spill once the breaker lets requests through again.
+
+        Self-terminating: it parks (exits) after ``drain_max_probes``
+        consecutive failed probes so a permanently-dead backend cannot
+        keep the event heap alive forever — the next spill or successful
+        ingest re-arms it.
+        """
+        misses = 0
+        while self._spill:
+            wait = max(
+                self.breaker.time_until_probe(),
+                self.retry.delay(min(misses, 6)),
+            )
+            yield self.env.timeout(wait)
+            if not self.breaker.allow():
+                misses += 1
+                if misses >= self.drain_max_probes:
+                    return
+                continue
+            body, groups = self._spill[0]
+            try:
+                response = yield from self._post(body)
+                if not response.ok:
+                    if 500 <= response.status < 600:
+                        raise RetryableBackendError(
+                            f"backend unavailable: {response.status}"
+                        )
+                    # fatal for this body only: shed it and keep draining
+                    self._spill.popleft()
+                    self.shed.record(groups)
+                    continue
+            except BaseException as exc:
+                if not self.retry.classify(exc):
+                    self._spill.popleft()
+                    self.shed.record(groups)
+                    continue
+                self.breaker.record_failure()
+                misses += 1
+                if misses >= self.drain_max_probes:
+                    return
+                continue
+            self.breaker.record_success()
+            misses = 0
+            self._spill.popleft()
+            for _ in range(groups):
+                self.delivered.record()
+            self.requests.record(len(body))
+            self.spill_drained.record(groups)
 
 
 class _TranslatorWorker:
-    """One pool worker: a subscriber client plus a batched work loop."""
+    """One pool worker: a subscriber client plus a batched work loop.
+
+    The work loop runs under a supervisor (mirroring the capture
+    client's sender supervision): an escaped exception — a backend
+    raising a fatal error, or a fault injected through :meth:`crash` —
+    is caught, the drained-but-unacked batch is requeued, and the loop
+    restarts after a jittered backoff.  Requeued items are consumed
+    before the inbox, and the server's dedup index is only *marked*
+    after the backend accepted a batch, so a crash between drain and
+    ingest re-processes the batch instead of losing it.
+    """
 
     def __init__(self, server: "ProvLightServer", index: int, max_batch: int):
         self.server = server
@@ -135,7 +324,30 @@ class _TranslatorWorker:
         self._inbox: Store = Store(self.env)
         self._connected = False
         self._connect_gate = None
-        self.env.process(self._work_loop(), name=f"translator-{index}")
+        self.crashes = Counter(f"translator-{index}-crashes")
+        self.restarts = Counter(f"translator-{index}-restarts")
+        self.last_failure: Optional[BaseException] = None
+        #: items drained off the inbox but not yet acked by the backend;
+        #: a restart replays them ahead of fresh inbox traffic (the inbox
+        #: is strictly FIFO, so this preserves each client's seq order)
+        self._requeue: List[Tuple[str, bytes]] = []
+        self._inflight: List[Tuple[str, bytes]] = []
+        self._pending_get = None
+        self._batches_completed = 0
+        self._rng = random.Random(zlib.crc32(f"translator-{index}".encode()))
+        self._process = self.env.process(
+            self._supervised_loop(), name=f"translator-{index}"
+        )
+
+    def crash(self, cause: Any = None) -> None:
+        """Injectable fault hook: kill the work loop at its current yield.
+
+        The supervisor catches the interrupt, requeues in-flight work and
+        restarts the loop under backoff — this is exactly what a real
+        worker process dying and being respawned looks like from the
+        outside, minus the lost batch.
+        """
+        self._process.interrupt(cause if cause is not None else "injected crash")
 
     def attach(self, topic_filter: str):
         """Generator: subscribe this worker to ``topic_filter``."""
@@ -170,24 +382,102 @@ class _TranslatorWorker:
 
     @property
     def queued(self) -> int:
-        """Payloads waiting in this worker's inbox."""
-        return len(self._inbox.items)
+        """Payloads waiting in this worker's inbox (plus requeued work)."""
+        return len(self._inbox.items) + len(self._requeue)
+
+    # -- supervision -------------------------------------------------------
+    #: restart backoff knobs (mirroring the capture client's sender
+    #: supervision); per-instance overridable for tests
+    restart_base_s = 0.05
+    restart_factor = 2.0
+    restart_max_s = 2.0
+    restart_jitter = 0.1
+
+    def _restart_delay(self, attempt: int) -> float:
+        delay = min(
+            self.restart_max_s, self.restart_base_s * (self.restart_factor ** attempt)
+        )
+        if self.restart_jitter:
+            # deterministic per-worker jitter de-synchronises a pool whose
+            # workers all crashed on the same backend fault
+            delay *= 1.0 + self.restart_jitter * (2.0 * self._rng.random() - 1.0)
+        return max(delay, 1e-9)
+
+    def _supervised_loop(self):
+        attempt = 0
+        while True:
+            try:
+                yield from self._work_loop()
+            except Exception as exc:  # includes injected Interrupts
+                self.crashes.record()
+                self.last_failure = exc
+                self._recover_inflight()
+                delay = self._restart_delay(attempt)
+                attempt += 1
+                if self._batches_completed:
+                    # progress since the last crash: treat this one as
+                    # fresh rather than escalating the backoff forever
+                    attempt = 1
+                    self._batches_completed = 0
+                while True:
+                    try:
+                        yield self.env.timeout(delay)
+                        break
+                    except Exception as exc:
+                        # a crash landed while already restarting: count
+                        # it and re-arm the backoff from scratch
+                        self.crashes.record()
+                        self.last_failure = exc
+                self.restarts.record()
+
+    def _recover_inflight(self) -> None:
+        """Requeue whatever the crashed loop had drained but not acked."""
+        pending = self._pending_get
+        self._pending_get = None
+        if pending is not None:
+            if pending.triggered and pending.ok:
+                # the get resolved in the same instant the crash landed:
+                # the item was popped off the store for a dead consumer
+                self._inflight.insert(0, pending.value)
+            else:
+                # abandoned waiter: remove it or the store will feed the
+                # next arriving item to an event nobody resumes on
+                try:
+                    self._inbox._get_waiters.remove(pending)
+                except ValueError:
+                    pass
+        if self._inflight:
+            self._requeue = self._inflight + self._requeue
+            self._inflight = []
 
     def _work_loop(self):
         server = self.server
+        self._inflight = []
         while True:
-            batch = [(yield self._inbox.get())]
-            if self.max_batch > 1:
-                batch.extend(self._inbox.drain_pending(self.max_batch - 1))
+            if self._requeue:
+                batch = self._requeue[: self.max_batch]
+                del self._requeue[: len(batch)]
+            else:
+                self._pending_get = self._inbox.get()
+                first = yield self._pending_get
+                self._pending_get = None
+                batch = [first]
+                if self.max_batch > 1:
+                    batch.extend(self._inbox.drain_pending(self.max_batch - 1))
+            self._inflight = batch
             costs = server.costs
             work = 0.0
             translated_batch: List[Tuple[list, Any]] = []
+            batch_marks: List[Tuple[str, int]] = []
+            marked = set()
             for _topic, payload in batch:
                 # durable clients wrap payloads in a (client_id, seq)
                 # envelope: peek it *before* paying any translate cost
                 # and drop replays already ingested — this is what turns
                 # the client's at-least-once delivery into exactly-once
-                # backend ingestion
+                # backend ingestion.  The pair is only *marked* after the
+                # backend accepts the batch (see below), so a crash in
+                # between re-processes instead of losing the records.
                 try:
                     envelope = unwrap_payload(payload)
                 except Exception:
@@ -195,9 +485,14 @@ class _TranslatorWorker:
                     continue
                 if envelope is not None:
                     client_id, seq, payload = envelope
-                    if server.deduper.is_duplicate(client_id, seq):
+                    if (
+                        server.deduper.seen(client_id, seq)
+                        or (client_id, seq) in marked
+                    ):
                         server.duplicates_dropped.record()
                         continue
+                    marked.add((client_id, seq))
+                    batch_marks.append((client_id, seq))
                 try:
                     records, translated = server.translator.translate_payload(payload)
                 except Exception:
@@ -208,6 +503,7 @@ class _TranslatorWorker:
                     work += costs.translate_group_fixed_s
                 translated_batch.append((records, translated))
             if not translated_batch:
+                self._inflight = []
                 continue
             # one CPU grant covers the whole drained batch: same simulated
             # work as per-message servicing, far fewer scheduler wakeups
@@ -226,8 +522,15 @@ class _TranslatorWorker:
             else:
                 for _records, translated in translated_batch:
                     yield from backend.ingest(translated)
+            # the backend accepted the batch: only now do the dedup marks
+            # become durable facts (no yield between ingest return and
+            # here, so a crash cannot split accept from mark)
+            for client_id, seq in batch_marks:
+                server.deduper.mark(client_id, seq)
             for records, _translated in translated_batch:
                 server.records_ingested.record(len(records))
+            self._inflight = []
+            self._batches_completed += 1
 
     def __repr__(self) -> str:
         return (
@@ -275,6 +578,16 @@ class TranslatorPool:
         """Total payloads waiting across all worker inboxes."""
         return sum(worker.queued for worker in self.workers)
 
+    @property
+    def crashes(self) -> int:
+        """Worker work-loop crashes caught by supervision, pool-wide."""
+        return sum(worker.crashes.count for worker in self.workers)
+
+    @property
+    def restarts(self) -> int:
+        """Supervised worker restarts, pool-wide."""
+        return sum(worker.restarts.count for worker in self.workers)
+
     def __repr__(self) -> str:
         return f"<TranslatorPool workers={len(self.workers)} queued={self.queued}>"
 
@@ -300,6 +613,7 @@ class ProvLightServer:
         cipher=None,
         workers: int = DEFAULT_TRANSLATOR_WORKERS,
         broker_shards: int = DEFAULT_BROKER_SHARDS,
+        dedup_state_path: Optional[str] = None,
     ):
         self.host = host
         self.env = host.env
@@ -323,8 +637,11 @@ class ProvLightServer:
         self.translate_errors = Counter("translate-errors")
         #: replay dedup shared by every pool worker — a client publishes
         #: to one topic, so all its payloads land on one worker, but the
-        #: index is server-wide so re-sharding can never unsee a seq
-        self.deduper = ReplayDeduper()
+        #: index is server-wide so re-sharding can never unsee a seq.
+        #: With ``dedup_state_path`` the index survives a server restart,
+        #: so a sink crash does not re-ingest records that durable
+        #: clients replay on reconnect.
+        self.deduper = ReplayDeduper(state_path=dedup_state_path)
         self.duplicates_dropped = Counter("duplicates-dropped")
 
     def add_translator(self, topic_filter: str):

@@ -41,7 +41,7 @@ from ..core import (
 )
 from ..device import Device, XEON_GOLD_5220
 from ..dfanalyzer import DfAnalyzerService
-from ..net import Network
+from ..net import ChaosProfile, Network, ServerFaultInjector
 from ..simkernel import Environment
 
 __all__ = ["ProvenanceManager"]
@@ -88,7 +88,26 @@ class ProvenanceManager:
         translator_workers: int = DEFAULT_TRANSLATOR_WORKERS,
         broker_shards: int = DEFAULT_BROKER_SHARDS,
         transport: Optional[str] = None,
+        chaos: Optional[str] = None,
     ):
+        chaos_profile = ChaosProfile.parse(chaos) if chaos else None
+        if chaos_profile is not None:
+            # validate before any side effect (host provisioning, port
+            # binds), so a bad config leaves the network untouched
+            if chaos_profile.requires_backend_link():
+                raise ValueError(
+                    "the manager's DfAnalyzer backend is in-process (no "
+                    "server<->backend link); backend-outage/flap-backend "
+                    "events cannot be injected here"
+                )
+            if (
+                any(e.kind == "kill-shard" for e in chaos_profile.events)
+                and broker_shards < 2
+            ):
+                raise ValueError(
+                    "kill-shard chaos needs broker_shards >= 2 (a surviving "
+                    "shard must take over the killed shard's sessions)"
+                )
         self.network = network
         self.env: Environment = network.env
         self.target = target
@@ -112,6 +131,10 @@ class ProvenanceManager:
         #: lazily deployed non-MQTT-SN sinks: transport -> (server, endpoint)
         self._sinks: Dict[str, tuple] = {}
         self.clients: Dict[str, CaptureClient] = {}
+        #: server-plane fault injector (always available for manual chaos)
+        self.fault_injector = ServerFaultInjector(self.server, network=network)
+        if chaos_profile is not None:
+            chaos_profile.apply(self.fault_injector)
 
     @property
     def host_name(self) -> str:

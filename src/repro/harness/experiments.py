@@ -31,7 +31,7 @@ from ..device import A8M3, XEON_GOLD_5220, Device, DeviceSpec
 from ..dfanalyzer import DfAnalyzerService
 from ..http import HttpResponse, HttpServer
 from ..metrics import RunMetrics, mean_ci, relative_overhead, snapshot_device
-from ..net import Network, parse_delay, parse_rate
+from ..net import ChaosProfile, Network, ServerFaultInjector, parse_delay, parse_rate
 from ..simkernel import Environment
 from ..workloads import SyntheticWorkloadConfig, synthetic_workload
 
@@ -73,6 +73,19 @@ def _default_broker_shards() -> int:
     return shards
 
 
+def _default_chaos() -> Optional[str]:
+    """Chaos profile spec; ``REPRO_CHAOS`` injects one into every run.
+
+    Same contract as :func:`_default_broker_shards`: a malformed spec
+    fails loudly at the first ``ExperimentSetup()``, not mid-run.
+    """
+    value = os.environ.get("REPRO_CHAOS")
+    if not value:
+        return None
+    ChaosProfile.parse(value)  # validate eagerly; keep the spec string
+    return value
+
+
 @dataclass(frozen=True)
 class ExperimentSetup:
     """Everything that defines one experimental condition."""
@@ -96,6 +109,15 @@ class ExperimentSetup:
     #: broker shards behind the server endpoint (1 = the single-broker
     #: deployment; ``REPRO_BROKER_SHARDS`` overrides the default)
     broker_shards: int = field(default_factory=_default_broker_shards)
+    #: server-plane chaos schedule (:class:`~repro.net.ChaosProfile` spec
+    #: string, e.g. ``"kill-shard@2.0"``; ``REPRO_CHAOS`` sets a default)
+    chaos: Optional[str] = field(default_factory=_default_chaos)
+
+    def chaos_profile(self) -> Optional["ChaosProfile"]:
+        """The parsed chaos schedule, or ``None`` when chaos is off."""
+        if not self.chaos:
+            return None
+        return ChaosProfile.parse(self.chaos)
 
     def capture_config(self) -> CaptureConfig:
         """The declarative capture config this condition describes."""
@@ -116,6 +138,8 @@ class ExperimentSetup:
             parts.append(f"devices={self.n_devices}")
         if self.broker_shards > 1:
             parts.append(f"shards={self.broker_shards}")
+        if self.chaos:
+            parts.append(f"chaos={self.chaos}")
         if self.device_spec is not A8M3:
             parts.append(self.device_spec.name)
         return " ".join(parts)
@@ -170,6 +194,30 @@ def run_capture_experiment(
     """
     if setup.system not in SYSTEMS:
         raise ValueError(f"unknown system {setup.system!r}; known: {SYSTEMS}")
+    chaos_profile = setup.chaos_profile()
+    if chaos_profile is not None:
+        if setup.system != "provlight" or normalize_transport(
+            (capture_config or setup.capture_config()).transport
+        ) != "mqttsn":
+            raise ValueError(
+                "chaos profiles target the provlight mqttsn server plane; "
+                f"got system={setup.system!r} transport="
+                f"{(capture_config or setup.capture_config()).transport!r}"
+            )
+        if chaos_profile.requires_backend_link():
+            raise ValueError(
+                "the harness backend is in-process (no server<->backend "
+                "link); backend-outage/flap-backend events need a "
+                "ServerFaultInjector wired with network= and backend_host="
+            )
+        if (
+            any(e.kind == "kill-shard" for e in chaos_profile.events)
+            and setup.broker_shards < 2
+        ):
+            raise ValueError(
+                "kill-shard chaos needs broker_shards >= 2 (a surviving "
+                "shard must take over the killed shard's sessions)"
+            )
     env = Environment()
     net = Network(env, seed=seed)
     bandwidth = parse_rate(setup.bandwidth)
@@ -198,6 +246,8 @@ def run_capture_experiment(
                 broker_shards=setup.broker_shards,
             )
             endpoint = server.endpoint
+            if chaos_profile is not None:
+                chaos_profile.apply(ServerFaultInjector(server))
         else:
             _, endpoint = deploy_capture_sink(
                 transport, net.hosts["cloud"], backend_service.ingest,

@@ -84,27 +84,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="broker shards behind the ProvLight server "
                         "endpoint for every experiment (default: 1, the "
                         "single-broker deployment)")
+    parser.add_argument("--chaos", metavar="SPEC", default=None,
+                        help="server-plane chaos schedule applied to every "
+                        "ProvLight run, e.g. 'kill-shard@2.0' or "
+                        "'crash-worker@1.0,kill-shard:1@2.0' (see "
+                        "repro.net.ChaosProfile for the grammar)")
     parser.add_argument("--write-experiments", metavar="PATH", default=None,
                         help="append rendered results to this markdown file")
     args = parser.parse_args(argv)
 
     if args.broker_shards is not None and args.broker_shards < 1:
         parser.error("--broker-shards must be >= 1")
+    if args.chaos is not None:
+        from ..net import ChaosProfile
+
+        try:
+            ChaosProfile.parse(args.chaos)
+        except ValueError as exc:
+            parser.error(f"--chaos: {exc}")
     # the tables build their ExperimentSetup grids internally; the
-    # environment hook retargets them all (see experiments.py).  Restore
-    # it afterwards so an in-process caller (tests, notebooks) does not
+    # environment hooks retarget them all (see experiments.py).  Restore
+    # them afterwards so an in-process caller (tests, notebooks) does not
     # inherit the override.
-    previous = os.environ.get("REPRO_BROKER_SHARDS")
+    overrides = {"REPRO_BROKER_SHARDS": args.broker_shards, "REPRO_CHAOS": args.chaos}
+    previous = {name: os.environ.get(name) for name in overrides}
     try:
-        if args.broker_shards is not None:
-            os.environ["REPRO_BROKER_SHARDS"] = str(args.broker_shards)
+        for name, value in overrides.items():
+            if value is not None:
+                os.environ[name] = str(value)
         results = run_targets(args.targets or ["all"], repetitions=args.reps)
     finally:
-        if args.broker_shards is not None:
-            if previous is None:
-                os.environ.pop("REPRO_BROKER_SHARDS", None)
-            else:
-                os.environ["REPRO_BROKER_SHARDS"] = previous
+        for name, value in overrides.items():
+            if value is not None:
+                if previous[name] is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = previous[name]
     if args.write_experiments:
         write_experiments_md(results, args.write_experiments)
         print(f"appended results to {args.write_experiments}")

@@ -50,6 +50,26 @@ class ConsistentHashRing:
         idx = bisect_right(self._points, point) % len(self._points)
         return self._nodes[idx]
 
+    def remove_node(self, node: int) -> None:
+        """Drop ``node``'s virtual points (failover path).
+
+        Keys the dead node owned remap onto whichever survivor holds the
+        next point clockwise; every other key keeps its owner — the same
+        ~1/K-remap property as shrinking the ring, but applied in place so
+        long-lived owners (sticky sessions, pinned endpoints) stay put.
+        """
+        if node not in self._nodes:
+            raise ValueError(f"node {node} is not on the ring")
+        if len(self.live_nodes()) <= 1:
+            raise ValueError("cannot remove the last live node")
+        pairs = [(p, n) for p, n in zip(self._points, self._nodes) if n != node]
+        self._points = [p for p, _ in pairs]
+        self._nodes = [n for _, n in pairs]
+
+    def live_nodes(self) -> List[int]:
+        """Sorted node ids still carrying points on the ring."""
+        return sorted(set(self._nodes))
+
     def __len__(self) -> int:
         return self.n_nodes
 

@@ -102,6 +102,18 @@ class HttpSession:
         response = yield from self.request("GET", dest, path, **kw)
         return response
 
+    def invalidate(self, dest: Endpoint) -> None:
+        """Drop the pooled connection to ``dest`` (if any).
+
+        Callers that abandon a request mid-flight (e.g. a timeout racing
+        a slow response) must invalidate the connection: its stream still
+        carries the half-finished exchange, so reusing it would hand the
+        stale response to the next request.
+        """
+        entry = self._conns.pop(dest, None)
+        if entry is not None:
+            entry[0].close()
+
     def close(self) -> None:
         """Close all pooled connections."""
         for conn, _ in self._conns.values():

@@ -117,7 +117,36 @@ class MqttSnBroker:
         self.dropped_no_session = Counter("dropped-no-session")
         self.delivery_failures = Counter("delivery-failures")
         self.serviced_batches = Counter("serviced-batches")
-        self.env.process(self._recv_loop(), name=f"mqttsn-broker-{host.name}:{port}")
+        #: set when the service loop died (injected fault or real crash);
+        #: retry timers and relay hops check it so a dead broker's leftover
+        #: processes drain instead of sending through a closed socket
+        self.crashed = False
+        self._service = self.env.process(
+            self._recv_loop(), name=f"mqttsn-broker-{host.name}:{port}"
+        )
+
+    @property
+    def alive(self) -> bool:
+        """True while the service loop is running (the liveness probe)."""
+        return self._service.is_alive and not self.crashed
+
+    def crash(self) -> None:
+        """Kill the service loop (fault injection / failover testing).
+
+        The broker object stays inspectable — sessions, counters, QoS
+        state — but services nothing further; a cluster's watchdog
+        detects the dead shard via :attr:`alive` and fails it over.
+        """
+        if not self._service.is_alive:
+            self.crashed = True
+            return
+        self.crashed = True
+        # nobody waits on the service process: defuse the failure so the
+        # injected interrupt cannot crash the whole simulation
+        self._service.defused = True
+        self._service.interrupt("broker crash")
+        if hasattr(self.sock, "close"):
+            self.sock.close()
 
     # ------------------------------------------------------------------ loop
     def _recv_loop(self):
@@ -348,6 +377,8 @@ class MqttSnBroker:
     def _retry_outbound(self, dest: Endpoint, msg_ids: List[int], attempt: int):
         """Retry timer for one coalesced delivery group towards ``dest``."""
         yield self.env.timeout(self.retry_interval_s)
+        if self.crashed:
+            return  # broker died with the timer armed; nothing to retry
         outstanding = [m for m in msg_ids if (dest, m) in self._outbound]
         if not outstanding:
             return

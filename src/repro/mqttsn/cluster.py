@@ -169,6 +169,27 @@ class _ClusterRelay:
             cluster.dispatch_fixed_s
             + cluster.dispatch_per_datagram_s * len(entries)
         )
+        if shard.crashed:
+            # The destination died with this hop in flight.  Wait for the
+            # watchdog to fail it over (which re-homes its subscriber
+            # sessions), then re-route each entry to the new owner — a
+            # relay must not become the loss window that the publisher's
+            # QoS exchange already acknowledged past.
+            yield cluster._failover_event(cluster.index_of(shard))
+            cluster.relay_redirected.record(len(entries))
+            regrouped: Dict[int, List] = {}
+            for entry in entries:
+                home = cluster._home.get(entry[0].endpoint)
+                if home is None or not cluster.shards[home].alive:
+                    cluster.relay_dropped.record()
+                    continue
+                regrouped.setdefault(home, []).append(entry)
+            for home, group in regrouped.items():
+                dest = cluster.shards[home]
+                for session, topic_name, message, qos in group:
+                    dest._stage_delivery(session, topic_name, message, qos)
+                dest._flush_deliveries()
+            return
         for session, topic_name, message, qos in entries:
             shard._stage_delivery(session, topic_name, message, qos)
         shard._flush_deliveries()
@@ -195,14 +216,18 @@ class BrokerCluster:
         retry_interval_s: float = 1.0,
         max_retries: int = 5,
         replicas: int = 32,
+        failover_detect_s: float = 0.05,
     ):
         if shards <= 0:
             raise ValueError("broker cluster needs at least one shard")
+        if failover_detect_s <= 0:
+            raise ValueError("failover_detect_s must be > 0")
         self.host = host
         self.env = host.env
         self.port = port
         self.dispatch_fixed_s = dispatch_fixed_s
         self.dispatch_per_datagram_s = dispatch_per_datagram_s
+        self.failover_detect_s = failover_detect_s
         shard_kwargs = dict(
             service_time_s=service_time_s,
             batch_fixed_s=batch_fixed_s,
@@ -248,6 +273,152 @@ class BrokerCluster:
                 for i in range(shards)
             ]
         self._index_by_id = {id(shard): i for i, shard in enumerate(self.shards)}
+        # ---- failover state: see kill_shard() / _failover() --------------
+        self.failovers = Counter("shard-failovers")
+        self.sessions_migrated = Counter("failover-sessions-migrated")
+        self.sessions_dropped = Counter("failover-sessions-dropped")
+        self.relay_redirected = Counter("relay-redirected")
+        self.relay_dropped = Counter("relay-dropped")
+        #: shards whose failover has completed (indices stay valid; a dead
+        #: shard keeps its slot so ring/pin indices never shift)
+        self._failed_over: set = set()
+        self._failover_events: Dict[int, object] = {}
+        self._watchdog = None
+
+    # ------------------------------------------------------------ failover
+    @property
+    def alive_shards(self) -> List[int]:
+        """Indices of shards whose service loop is running."""
+        return [i for i, s in enumerate(self.shards) if s.alive]
+
+    def kill_shard(self, index: int) -> None:
+        """Injectable kill hook: crash shard ``index`` and arm detection.
+
+        The shard's service loop dies immediately (datagrams already
+        forwarded to it are lost, exactly like a crashed process losing
+        its socket buffer); the cluster watchdog detects the dead shard
+        after :attr:`failover_detect_s` and runs :meth:`_failover`.
+        Durable clients ride their QoS retries into a reconnect and
+        replay from the journal, so no acknowledged record is lost.
+        """
+        if self._ring is None:
+            raise ValueError("cannot fail over a single-shard cluster")
+        shard = self.shards[index]
+        if shard.alive:
+            shard.crash()
+        self._failover_event(index)  # arms the watchdog
+
+    def check_shards(self) -> List[int]:
+        """Liveness probe: arm failover for any dead, unhandled shard.
+
+        :meth:`kill_shard` calls this implicitly; it is public so a
+        harness embedding its own fault source (e.g. a shard crashed by
+        an injected exception rather than the kill hook) can trigger
+        detection.  Returns the indices found dead and not yet failed
+        over.
+        """
+        if self._ring is None:
+            return []
+        dead = [
+            i for i, s in enumerate(self.shards)
+            if not s.alive and i not in self._failed_over
+        ]
+        for index in dead:
+            self._failover_event(index)
+        return dead
+
+    def _failover_event(self, index: int):
+        """Event triggering once shard ``index`` has been failed over."""
+        event = self._failover_events.get(index)
+        if event is None:
+            event = self._failover_events[index] = self.env.event()
+            self._ensure_watchdog()
+        return event
+
+    def _ensure_watchdog(self) -> None:
+        if self._watchdog is not None and self._watchdog.is_alive:
+            return
+        self._watchdog = self.env.process(
+            self._watchdog_loop(),
+            name=f"cluster-watchdog-{self.host.name}:{self.port}",
+        )
+
+    def _watchdog_loop(self):
+        # Lazily-started, self-terminating liveness probe: it only runs
+        # while a dead shard awaits failover, so a healthy cluster leaves
+        # the event heap empty and ``env.run()`` can terminate.
+        while True:
+            yield self.env.timeout(self.failover_detect_s)
+            for index, shard in enumerate(self.shards):
+                if not shard.alive and index not in self._failed_over:
+                    self._failover(index)
+            if all(
+                s.alive or i in self._failed_over
+                for i, s in enumerate(self.shards)
+            ):
+                return
+
+    def _failover(self, index: int) -> None:
+        """Remove a dead shard from the plane and re-home its sessions.
+
+        Subscriber sessions (they hold filters in the routing view) are
+        *migrated*: the session object moves to the ring's new owner with
+        its ``known_topic_ids`` cleared — topic ids are shard-local, so
+        the new shard re-REGISTERs topics ahead of the next delivery —
+        and its filters are re-added through the new shard's replicated
+        index, which re-homes them for relay routing.  Publisher sessions
+        are *dropped*: their in-flight QoS state names topic ids only the
+        dead shard could resolve, so the honest move is to let the
+        client's retry exhaustion trip its reconnect machinery — a fresh
+        CONNECT classifies onto the shrunk ring and a durable client
+        replays from its journal, deduplicated server-side.
+        """
+        dead = self.shards[index]
+        dead.crashed = True  # stops leftover retry timers for real crashes
+        self._failed_over.add(index)
+        if len(self._ring.live_nodes()) <= 1:
+            # the last shard died: there is no survivor to re-home onto;
+            # drop the sessions and leave the (empty) ring alone so a
+            # total-outage experiment still terminates cleanly
+            self.dispatcher.invalidate_shard(index)
+            for endpoint in list(dead.sessions):
+                dead.subscriptions.remove(endpoint)
+                self.sessions_dropped.record()
+            dead.sessions.clear()
+            dead._outbound.clear()
+            self.failovers.record()
+            event = self._failover_events.get(index)
+            if event is not None and not event.triggered:
+                event.succeed()
+            return
+        self._ring.remove_node(index)
+        self.dispatcher.invalidate_shard(index)
+        for endpoint, session in list(dead.sessions.items()):
+            filters = dead.subscriptions.subscriptions_of(endpoint)
+            dead.subscriptions.remove(endpoint)  # replicated: view + home
+            if not filters:
+                self.sessions_dropped.record()
+                continue
+            new_index = self._ring.node_for(session.client_id)
+            new = self.shards[new_index]
+            if not new.alive:
+                # the new owner is a corpse awaiting its own failover
+                # (several shards died in the same detection window):
+                # migrating onto it just defers the drop, so be honest
+                self.sessions_dropped.record()
+                continue
+            session.known_topic_ids.clear()
+            new.sessions[endpoint] = session
+            for pattern, qos in filters:
+                new.subscriptions.add(endpoint, pattern, qos)
+            self.dispatcher.pins[endpoint] = new_index
+            self.sessions_migrated.record()
+        dead.sessions.clear()
+        dead._outbound.clear()
+        self.failovers.record()
+        event = self._failover_events.get(index)
+        if event is not None and not event.triggered:
+            event.succeed()
 
     # ------------------------------------------------------------- routing
     def shard_of(self, client_id: str) -> int:

@@ -155,6 +155,24 @@ class SubscriptionIndex:
         node.subs[key] = (seq, qos)
         self._wildcards += 1
 
+    def subscriptions_of(self, key: Hashable) -> List[Tuple[str, int]]:
+        """``[(pattern, qos), ...]`` held by ``key``, in subscription order.
+
+        The failover path uses this to re-create a subscriber's filters on
+        its new home shard; QoS is looked up from the exact map / trie so
+        the migrated subscription keeps its delivery guarantee.
+        """
+        out: List[Tuple[str, int]] = []
+        for pattern in self._filters.get(key, ()):
+            if "+" not in pattern and "#" not in pattern:
+                out.append((pattern, self._exact[pattern][key][1]))
+                continue
+            node = self._root
+            for segment in pattern.split("/"):
+                node = node.children[segment]
+            out.append((pattern, node.subs[key][1]))
+        return out
+
     def remove(self, key: Hashable) -> None:
         """Drop every subscription held by ``key`` (DISCONNECT path)."""
         for pattern in self._filters.pop(key, ()):

@@ -6,6 +6,7 @@ Protocol layers (:mod:`repro.mqttsn`, :mod:`repro.http`) build on these
 sockets exactly like their real counterparts build on the OS.
 """
 
+from .chaos import ChaosEvent, ChaosProfile, ServerFaultInjector
 from .dispatcher import UdpShardDispatcher, VirtualSocket
 from .faults import LinkFaultInjector
 from .host import Host, PortInUse
@@ -21,6 +22,9 @@ __all__ = [
     "PortInUse",
     "Link",
     "LinkFaultInjector",
+    "ServerFaultInjector",
+    "ChaosProfile",
+    "ChaosEvent",
     "Network",
     "UnroutableError",
     "NetworkConstraint",

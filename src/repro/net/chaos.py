@@ -1,0 +1,254 @@
+"""Server-plane fault injection: shard kills, worker crashes, backend outages.
+
+:mod:`repro.net.faults` injects faults into *links* — the client plane's
+threat model.  This module layers the server plane's threat model on
+top: a :class:`ServerFaultInjector` drives deterministic faults into a
+:class:`~repro.core.server.ProvLightServer` — killing broker shards (the
+cluster watchdog must fail them over), crashing translator workers (the
+pool supervisor must restart them) and partitioning the uplink to the
+HTTP backend (the circuit breaker must open, spill and drain) — so a
+Table IX-style run can execute under churn and assert zero loss.
+
+:class:`ChaosProfile` is the reproducible-from-the-CLI face of the same
+machinery: a compact spec string (``"kill-shard@2.0,flap-backend@1:0.5:3"``)
+parsed into scheduled fault events, threaded through
+``ExperimentSetup.chaos`` / ``--chaos`` / ``REPRO_CHAOS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .faults import LinkFaultInjector
+from .topology import Network
+
+__all__ = ["ServerFaultInjector", "ChaosProfile", "ChaosEvent"]
+
+
+class ServerFaultInjector:
+    """Inject server-plane faults into one :class:`ProvLightServer`.
+
+    Immediate controls (:meth:`kill_shard`, :meth:`crash_worker`) act
+    synchronously; the scheduled ones return driving processes, so all
+    timing lives on the simulation clock and a given schedule replays
+    identically on every run.  ``network``/``backend_host`` are only
+    needed for the backend-fault methods (they partition the server ↔
+    backend link through a :class:`LinkFaultInjector`).
+    """
+
+    def __init__(
+        self,
+        server,
+        network: Optional[Network] = None,
+        backend_host: Optional[str] = None,
+    ):
+        self.server = server
+        self.env = server.env
+        self.network = network
+        self.backend_host = backend_host
+        #: injected faults as ``(sim time, description)``
+        self.events: List[Tuple[float, str]] = []
+        self._backend_faults: Optional[LinkFaultInjector] = None
+
+    def _log(self, what: str) -> None:
+        self.events.append((self.env.now, what))
+
+    # -- broker shards ---------------------------------------------------
+    def kill_shard(self, index: Optional[int] = None) -> int:
+        """Kill one broker shard now; returns the index killed.
+
+        Without an explicit index the *busiest* alive shard (most
+        sessions, ties to the lowest index) dies — the worst case for
+        the failover path, and a deterministic one.
+        """
+        cluster = self.server.broker
+        if index is None:
+            alive = cluster.alive_shards
+            if not alive:
+                raise ValueError("no alive shard to kill")
+            index = max(alive, key=lambda i: (len(cluster.shards[i].sessions), -i))
+        cluster.kill_shard(index)
+        self._log(f"kill-shard:{index}")
+        return index
+
+    def kill_shard_at(self, after_s: float, index: Optional[int] = None):
+        """Schedule :meth:`kill_shard` at ``now + after_s``."""
+        if after_s < 0:
+            raise ValueError("after_s must be >= 0")
+
+        def _kill():
+            yield self.env.timeout(after_s)
+            self.kill_shard(index)
+
+        return self.env.process(_kill(), name="chaos-kill-shard")
+
+    # -- translator workers ----------------------------------------------
+    def crash_worker(self, index: Optional[int] = None) -> int:
+        """Crash one pool worker's work loop now; returns its position.
+
+        Without an explicit index the worker with the deepest inbox
+        (ties to the lowest position) crashes — maximizing the
+        drained-but-unacked work the supervisor must requeue.
+        """
+        workers = self.server.pool.workers
+        if index is None:
+            index = max(
+                range(len(workers)), key=lambda i: (workers[i].queued, -i)
+            )
+        workers[index].crash()
+        self._log(f"crash-worker:{index}")
+        return index
+
+    def crash_worker_at(self, after_s: float, index: Optional[int] = None):
+        """Schedule :meth:`crash_worker` at ``now + after_s``."""
+        if after_s < 0:
+            raise ValueError("after_s must be >= 0")
+
+        def _crash():
+            yield self.env.timeout(after_s)
+            self.crash_worker(index)
+
+        return self.env.process(_crash(), name="chaos-crash-worker")
+
+    # -- backend uplink ---------------------------------------------------
+    def _backend_injector(self) -> LinkFaultInjector:
+        if self.network is None or self.backend_host is None:
+            raise ValueError(
+                "backend faults need network= and backend_host= (the "
+                "injector partitions the server<->backend link)"
+            )
+        if self._backend_faults is None:
+            self._backend_faults = LinkFaultInjector(
+                self.network, self.server.host.name, self.backend_host
+            )
+        return self._backend_faults
+
+    def backend_outage(self, after_s: float, duration_s: float):
+        """Partition the backend uplink once: down at ``now + after_s``,
+        healed ``duration_s`` later."""
+        self._log(f"backend-outage@{after_s}:{duration_s}")
+        return self._backend_injector().partition_at(after_s, duration_s)
+
+    def flap_backend(self, period_s: float, down_s: float, cycles: int):
+        """Flap the backend uplink: every ``period_s`` it goes down for
+        ``down_s``, ``cycles`` times."""
+        self._log(f"flap-backend@{period_s}:{down_s}:{cycles}")
+        return self._backend_injector().flap(period_s, down_s, cycles)
+
+    @property
+    def backend_outages(self) -> List[Tuple[float, float]]:
+        """Completed backend outage intervals (empty before any fault)."""
+        if self._backend_faults is None:
+            return []
+        return list(self._backend_faults.outages)
+
+    def __repr__(self) -> str:
+        return f"<ServerFaultInjector events={len(self.events)}>"
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One parsed fault from a chaos spec string."""
+
+    kind: str
+    index: Optional[int]
+    args: Tuple[float, ...]
+
+
+class ChaosProfile:
+    """A reproducible schedule of server-plane faults.
+
+    Spec grammar (comma-separated events, all times in simulated
+    seconds)::
+
+        kill-shard@AFTER            kill the busiest shard at AFTER
+        kill-shard:2@AFTER          kill shard 2 at AFTER
+        crash-worker@AFTER          crash the busiest worker at AFTER
+        crash-worker:0@AFTER        crash worker position 0 at AFTER
+        backend-outage@AFTER:DUR    partition the backend link once
+        flap-backend@PERIOD:DOWN:N  N periodic backend outages
+
+    e.g. ``"kill-shard@2.0,flap-backend@1.0:0.25:3"``.
+    """
+
+    _ARITY = {
+        "kill-shard": 1,
+        "crash-worker": 1,
+        "backend-outage": 2,
+        "flap-backend": 3,
+    }
+    _INDEXABLE = {"kill-shard", "crash-worker"}
+
+    def __init__(self, events: List[ChaosEvent]):
+        self.events: Tuple[ChaosEvent, ...] = tuple(events)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosProfile":
+        events: List[ChaosEvent] = []
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            head, sep, tail = token.partition("@")
+            if not sep:
+                raise ValueError(
+                    f"malformed chaos event {token!r}: expected kind@args"
+                )
+            kind, _, index_part = head.partition(":")
+            if kind not in cls._ARITY:
+                raise ValueError(
+                    f"unknown chaos event kind {kind!r}; known: "
+                    f"{sorted(cls._ARITY)}"
+                )
+            index: Optional[int] = None
+            if index_part:
+                if kind not in cls._INDEXABLE:
+                    raise ValueError(f"{kind!r} does not take an index")
+                try:
+                    index = int(index_part)
+                except ValueError:
+                    raise ValueError(
+                        f"bad index {index_part!r} in chaos event {token!r}"
+                    ) from None
+            try:
+                args = tuple(float(a) for a in tail.split(":"))
+            except ValueError:
+                raise ValueError(
+                    f"bad arguments {tail!r} in chaos event {token!r}"
+                ) from None
+            if len(args) != cls._ARITY[kind]:
+                raise ValueError(
+                    f"{kind!r} takes {cls._ARITY[kind]} argument(s), "
+                    f"got {len(args)} in {token!r}"
+                )
+            events.append(ChaosEvent(kind=kind, index=index, args=args))
+        if not events:
+            raise ValueError(f"empty chaos spec {spec!r}")
+        return cls(events)
+
+    def requires_backend_link(self) -> bool:
+        """True when the profile includes backend-link faults."""
+        return any(
+            e.kind in ("backend-outage", "flap-backend") for e in self.events
+        )
+
+    def apply(self, injector: ServerFaultInjector) -> list:
+        """Schedule every event on ``injector``; returns the processes."""
+        procs = []
+        for event in self.events:
+            if event.kind == "kill-shard":
+                procs.append(injector.kill_shard_at(event.args[0], event.index))
+            elif event.kind == "crash-worker":
+                procs.append(
+                    injector.crash_worker_at(event.args[0], event.index)
+                )
+            elif event.kind == "backend-outage":
+                procs.append(injector.backend_outage(*event.args))
+            elif event.kind == "flap-backend":
+                period, down, cycles = event.args
+                procs.append(injector.flap_backend(period, down, int(cycles)))
+        return procs
+
+    def __repr__(self) -> str:
+        return f"<ChaosProfile events={len(self.events)}>"

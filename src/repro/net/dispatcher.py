@@ -176,6 +176,21 @@ class UdpShardDispatcher:
         """Forget the sticky routing decision for ``source``."""
         self.pins.pop(source, None)
 
+    def invalidate_shard(self, index: int) -> List[Endpoint]:
+        """Drop every pin targeting shard ``index`` and close its socket.
+
+        Failover path: once a shard is dead, its pins are lies — traffic
+        from those endpoints must reclassify (CONNECTs by client id on the
+        shrunk ring, the rest by source hash) instead of being forwarded
+        into a void.  Returns the endpoints that were unpinned so the
+        caller can account for the displaced sessions.
+        """
+        stale = [source for source, pin in self.pins.items() if pin == index]
+        for source in stale:
+            del self.pins[source]
+        self.sockets[index].close()
+        return stale
+
     def __repr__(self) -> str:
         return (
             f"<UdpShardDispatcher {self.host.name}:{self.port} "

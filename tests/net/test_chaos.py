@@ -1,0 +1,146 @@
+"""ServerFaultInjector + ChaosProfile: the server-plane chaos harness."""
+
+import pytest
+
+from repro.core import CallableBackend, ProvLightServer
+from repro.device import XEON_GOLD_5220, Device
+from repro.net import ChaosEvent, ChaosProfile, Network, ServerFaultInjector
+from repro.simkernel import Environment
+
+
+def make_server(shards=4, workers=4, seed=3):
+    env = Environment()
+    net = Network(env, seed=seed)
+    net.add_host("cloud", device=Device(env, XEON_GOLD_5220, name="cloud-dev"))
+    sink = []
+    server = ProvLightServer(
+        net.hosts["cloud"], CallableBackend(sink.extend),
+        workers=workers, broker_shards=shards,
+    )
+    return env, net, server, sink
+
+
+# ------------------------------------------------------------- the injector
+
+def test_kill_shard_defaults_to_busiest_and_logs():
+    env, net, server, _ = make_server()
+    inj = ServerFaultInjector(server)
+    killed = inj.kill_shard()
+    assert killed in range(4)
+    assert not server.broker.shards[killed].alive
+    assert inj.events == [(0.0, f"kill-shard:{killed}")]
+    env.run()
+    assert server.broker.failovers.count == 1
+
+
+def test_kill_shard_at_fires_on_the_sim_clock():
+    env, net, server, _ = make_server()
+    inj = ServerFaultInjector(server)
+    inj.kill_shard_at(1.5, index=2)
+    env.run(until=1.0)
+    assert server.broker.shards[2].alive
+    env.run(until=5.0)
+    assert not server.broker.shards[2].alive
+    assert inj.events[0][0] == pytest.approx(1.5)
+    with pytest.raises(ValueError):
+        inj.kill_shard_at(-1.0)
+
+
+def test_crash_worker_targets_deepest_inbox():
+    env, net, server, _ = make_server()
+    server.pool.workers[2]._inbox.put(("t", b"x"))
+    inj = ServerFaultInjector(server)
+    assert inj.crash_worker() == 2
+    env.run(until=5.0)
+    assert server.pool.workers[2].crashes.count == 1
+    assert server.pool.workers[2].restarts.count == 1
+
+
+def test_backend_faults_require_network_wiring():
+    env, net, server, _ = make_server()
+    inj = ServerFaultInjector(server)  # no backend link configured
+    with pytest.raises(ValueError):
+        inj.backend_outage(0.5, 1.0)
+    assert inj.backend_outages == []
+
+
+# -------------------------------------------------------------- the grammar
+
+def test_parse_full_grammar():
+    profile = ChaosProfile.parse(
+        "kill-shard@2.0, kill-shard:1@3, crash-worker@0.5,"
+        "crash-worker:0@1, backend-outage@1:0.5, flap-backend@1:0.25:3"
+    )
+    assert profile.events == (
+        ChaosEvent("kill-shard", None, (2.0,)),
+        ChaosEvent("kill-shard", 1, (3.0,)),
+        ChaosEvent("crash-worker", None, (0.5,)),
+        ChaosEvent("crash-worker", 0, (1.0,)),
+        ChaosEvent("backend-outage", None, (1.0, 0.5)),
+        ChaosEvent("flap-backend", None, (1.0, 0.25, 3.0)),
+    )
+    assert profile.requires_backend_link()
+    assert not ChaosProfile.parse("kill-shard@1").requires_backend_link()
+
+
+@pytest.mark.parametrize("bad", [
+    "",                          # empty spec
+    "kill-shard",                # missing @args
+    "explode@1.0",               # unknown kind
+    "backend-outage:2@1:0.5",    # index on a non-indexable kind
+    "kill-shard:x@1",            # non-integer index
+    "kill-shard@one",            # non-numeric argument
+    "kill-shard@1:2",            # wrong arity
+    "flap-backend@1:0.5",        # wrong arity
+])
+def test_parse_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError):
+        ChaosProfile.parse(bad)
+
+
+def test_profile_apply_schedules_events():
+    env, net, server, _ = make_server()
+    inj = ServerFaultInjector(server)
+    procs = ChaosProfile.parse("kill-shard:3@0.5,crash-worker:0@0.25").apply(inj)
+    assert len(procs) == 2
+    env.run(until=5.0)
+    kinds = [what.split("@")[0] for _, what in inj.events]
+    assert sorted(kinds) == ["crash-worker:0", "kill-shard:3"]
+    assert not server.broker.shards[3].alive
+    assert server.pool.workers[0].crashes.count == 1
+
+
+# ----------------------------------------------------- harness/e2clab wiring
+
+def test_experiment_setup_validates_chaos(monkeypatch):
+    from repro.harness.experiments import ExperimentSetup
+
+    assert ExperimentSetup().chaos is None
+    assert ExperimentSetup(chaos="kill-shard@1").chaos_profile() is not None
+    monkeypatch.setenv("REPRO_CHAOS", "kill-shard@2.5")
+    assert ExperimentSetup().chaos == "kill-shard@2.5"
+    monkeypatch.setenv("REPRO_CHAOS", "nonsense")
+    with pytest.raises(ValueError):
+        ExperimentSetup()
+
+
+def test_provenance_manager_threads_chaos():
+    from repro.e2clab import ProvenanceManager
+
+    env = Environment()
+    net = Network(env, seed=2)
+    manager = ProvenanceManager(net, broker_shards=3, chaos="kill-shard@0.5")
+    env.run(until=5.0)
+    assert manager.server.broker.failovers.count == 1
+    assert len(manager.fault_injector.events) == 1
+
+
+def test_provenance_manager_rejects_impossible_chaos():
+    from repro.e2clab import ProvenanceManager
+
+    env = Environment()
+    net = Network(env, seed=2)
+    with pytest.raises(ValueError):
+        ProvenanceManager(net, chaos="kill-shard@1")  # one shard only
+    with pytest.raises(ValueError):
+        ProvenanceManager(net, broker_shards=2, chaos="backend-outage@1:0.5")
