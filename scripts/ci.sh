@@ -37,4 +37,11 @@ python examples/flaky_uplink.py
 echo "chaos smoke: examples/chaos_fanin.py"
 python examples/chaos_fanin.py
 
+# elasticity smoke: the elastic fan-in example asserts the scaling
+# contract — p2c spreads a hash-adversarial CONNECT burst, the
+# translator pool grows under load and shrinks back to min, and every
+# record lands exactly once across the worker handovers — run loudly
+echo "elasticity smoke: examples/elastic_fanin.py"
+python examples/elastic_fanin.py
+
 python scripts/run_benchmarks.py --quick

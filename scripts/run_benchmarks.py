@@ -51,6 +51,7 @@ BENCH_FILES = [
     REPO_ROOT / "benchmarks" / "test_microbench_codecs.py",
     REPO_ROOT / "benchmarks" / "test_broker_routing_scale.py",
     REPO_ROOT / "benchmarks" / "test_broker_shard_scale.py",
+    REPO_ROOT / "benchmarks" / "test_broker_skewed_scale.py",
     REPO_ROOT / "benchmarks" / "test_shard_failover.py",
 ]
 OUTPUT_FILE = REPO_ROOT / "BENCH_microbench_codecs.json"
@@ -196,6 +197,32 @@ def headline(benchmarks: dict, sizes: dict) -> dict:
         per_bundle = entry.get("extra_info", {}).get("dispatch_datagrams_per_bundle")
         if per_bundle:
             out["dispatch_amortization_datagrams_per_bundle_8_shards"] = per_bundle
+    # skewed fan-in: what placement policy buys when the client-id
+    # population clumps on one ring node (the adversarial case for hash)
+    def skewed(shards: int, placement: str):
+        entry = benchmarks.get(
+            f"test_skewed_publish_throughput[{shards}-{placement}]"
+        )
+        if not entry:
+            return None
+        return entry.get("extra_info", {})
+
+    s1 = skewed(1, "hash")
+    s8_hash = skewed(8, "hash")
+    s8_p2c = skewed(8, "p2c")
+    if s1 and s8_p2c and s1.get("simulated_msgs_per_s"):
+        out["broker_throughput_speedup_8_shards_over_1_skewed"] = round(
+            s8_p2c["simulated_msgs_per_s"] / s1["simulated_msgs_per_s"], 2
+        )
+        if s8_hash and s8_hash.get("simulated_msgs_per_s"):
+            out["skewed_placement_gain_p2c_over_hash_8_shards"] = round(
+                s8_p2c["simulated_msgs_per_s"]
+                / s8_hash["simulated_msgs_per_s"],
+                2,
+            )
+        ratio = s8_p2c.get("max_mean_session_ratio")
+        if ratio:
+            out["p2c_max_mean_session_ratio_8_shards"] = ratio
     # fault tolerance: the end-to-end publish outage a durable client
     # rides through when a shard dies (detection + reconnect + replay),
     # and the fan-in rate the plane keeps after losing 1 of 4 shards

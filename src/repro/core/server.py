@@ -13,12 +13,17 @@ Two layers of the server shard by consistent hashing (the same ring,
   ``broker_shards`` broker instances behind one endpoint (client ids
   shard onto brokers; ``broker_shards=1``, the default, is
   wire-identical to a single standalone broker);
-* the **translator plane** is a fixed-size :class:`TranslatorPool`:
-  topics shard across K workers, each owning one MQTT-SN subscriber
-  client and draining its inbox in batches.  A thousand device topics
-  therefore cost K subscriber clients, not a thousand.
+* the **translator plane** is a :class:`TranslatorPool`: topics shard
+  across K workers, each owning one MQTT-SN subscriber client and
+  draining its inbox in batches.  A thousand device topics therefore
+  cost K subscriber clients, not a thousand.
   :meth:`ProvLightServer.add_translator` is kept as the compatibility
-  entry point: it attaches one topic filter to the pool.
+  entry point: it attaches one topic filter to the pool.  The pool is
+  **elastic** when ``min_workers < max_workers``: a
+  :class:`PoolAutoscaler` watches sustained inbox depth and grows or
+  shrinks the worker count, re-homing each moved topic range through
+  the ring's ~1/K remap with an exactly-once, order-preserving
+  hold-buffer handover (see :meth:`TranslatorPool._migrate`).
 
 Backends follow a uniform generator protocol: ``ingest(translated)``
 returns an iterable of simulation events.  Synchronous backends deliver
@@ -36,13 +41,14 @@ import json
 import random
 import zlib
 from collections import deque
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..calibration import SERVER_COSTS, ServerCosts
 from ..capture.envelope import ReplayDeduper, unwrap_payload
 from ..hashring import ConsistentHashRing
 from ..http import HttpSession
 from ..mqttsn import BrokerCluster, DEFAULT_BROKER_PORT, MqttSnClient
+from ..mqttsn.topics import topic_matches
 from ..net import Endpoint, Host
 from ..simkernel import Counter, Store
 from .resilience import (
@@ -57,6 +63,7 @@ from .translator import Translator
 __all__ = [
     "ProvLightServer",
     "TranslatorPool",
+    "PoolAutoscaler",
     "CallableBackend",
     "HttpBackend",
     "DEFAULT_TRANSLATOR_WORKERS",
@@ -320,6 +327,10 @@ class _TranslatorWorker:
             f"translator-{index}",
             (server.host.name, server.port),
         )
+        #: backref set by the owning pool (elastic pools use it to wake
+        #: the autoscale monitor on inbox puts)
+        self.pool: Optional["TranslatorPool"] = None
+        self._retired = False
         self.topic_filters: List[str] = []
         self._inbox: Store = Store(self.env)
         self._connected = False
@@ -349,14 +360,54 @@ class _TranslatorWorker:
         """
         self._process.interrupt(cause if cause is not None else "injected crash")
 
+    def retire(self) -> None:
+        """Permanently stop this worker (elastic shrink path).
+
+        Unlike :meth:`crash`, the supervisor does not restart a retired
+        worker: the interrupt lands, the loop observes ``_retired`` and
+        exits.  The pool has already migrated every topic filter away
+        and drained the queues before calling this, so there is no
+        in-flight work to recover — only the abandoned inbox waiter to
+        detach and the subscriber session to close.
+        """
+        self._retired = True
+        process = self._process
+        if process is not None and process.is_alive:
+            # nobody waits on the worker process: defuse so the interrupt
+            # cannot crash the whole simulation
+            process.defused = True
+            process.interrupt("retired")
+        self._recover_inflight()
+        if self._connected:
+            self.client.disconnect()
+            self._connected = False
+
     def attach(self, topic_filter: str):
         """Generator: subscribe this worker to ``topic_filter``."""
         yield from self._ensure_connected()
-        yield from self.client.subscribe(
-            topic_filter, lambda topic, payload: self._inbox.put((topic, payload))
-        )
+        yield from self.client.subscribe(topic_filter, self._on_message)
         self.topic_filters.append(topic_filter)
         return self
+
+    def _on_message(self, topic: str, payload: bytes) -> None:
+        """Inbound PUBLISH handler: enqueue and nudge the autoscaler."""
+        self._inbox.put((topic, payload))
+        if self.pool is not None:
+            self.pool._wake_autoscaler()
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """This worker's subscriber endpoint as the broker sees it."""
+        return (self.client.host.name, self.client.sock.port)
+
+    def _has_pending(self, pattern: str) -> bool:
+        """True while any queued/in-flight payload matches ``pattern``
+        (the migration drain barrier)."""
+        for stage in (self._inbox.items, self._requeue, self._inflight):
+            for topic, _payload in stage:
+                if topic_matches(pattern, topic):
+                    return True
+        return False
 
     def _ensure_connected(self):
         """Generator: connect the subscriber client exactly once, even when
@@ -409,6 +460,8 @@ class _TranslatorWorker:
             try:
                 yield from self._work_loop()
             except Exception as exc:  # includes injected Interrupts
+                if self._retired:
+                    return  # elastic shrink, not a fault: no restart
                 self.crashes.record()
                 self.last_failure = exc
                 self._recover_inflight()
@@ -424,6 +477,8 @@ class _TranslatorWorker:
                         yield self.env.timeout(delay)
                         break
                     except Exception as exc:
+                        if self._retired:
+                            return
                         # a crash landed while already restarting: count
                         # it and re-arm the backoff from scratch
                         self.crashes.record()
@@ -539,8 +594,90 @@ class _TranslatorWorker:
         )
 
 
+class PoolAutoscaler:
+    """Pure hysteresis controller deciding grow/shrink for the pool.
+
+    Feeds on the pool's total queued depth, smooths it into a
+    *per-worker* EWMA and demands ``sustain`` consecutive out-of-band
+    samples before acting, so transient bursts never resize the pool.
+
+    The no-flap argument (pinned by a property test): with ``w >= 1``
+    workers one grow divides the per-worker signal by at most 2
+    (``w -> w + 1``) and one shrink multiplies it by at most 2, so
+    requiring ``low_water <= high_water / 2`` guarantees a resize can
+    never push a constant load across the *opposite* threshold.
+    Smoothed state is reset after every resize (and re-seeded from the
+    next sample) so stale EWMA history cannot overshoot the band either.
+    """
+
+    def __init__(
+        self,
+        min_workers: int,
+        max_workers: int,
+        *,
+        high_water: float = 8.0,
+        low_water: float = 2.0,
+        alpha: float = 0.5,
+        sustain: int = 3,
+    ):
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if max_workers < min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if high_water <= 0 or low_water < 0:
+            raise ValueError("water marks must be non-negative (high > 0)")
+        if low_water * 2 > high_water:
+            raise ValueError(
+                "hysteresis requires low_water <= high_water / 2 "
+                "(otherwise a single resize can cross the opposite band)"
+            )
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if sustain < 1:
+            raise ValueError("sustain must be >= 1")
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.high_water = high_water
+        self.low_water = low_water
+        self.alpha = alpha
+        self.sustain = sustain
+        self.ewma: Optional[float] = None
+        self._up_streak = 0
+        self._down_streak = 0
+
+    def observe(self, queued: int, workers: int) -> int:
+        """Feed one sample; returns +1 (grow), -1 (shrink) or 0 (hold)."""
+        per_worker = queued / max(1, workers)
+        if self.ewma is None:
+            self.ewma = per_worker
+        else:
+            self.ewma = self.alpha * per_worker + (1 - self.alpha) * self.ewma
+        if self.ewma > self.high_water and workers < self.max_workers:
+            self._up_streak += 1
+            self._down_streak = 0
+            if self._up_streak >= self.sustain:
+                self.reset()
+                return 1
+        elif self.ewma < self.low_water and workers > self.min_workers:
+            self._down_streak += 1
+            self._up_streak = 0
+            if self._down_streak >= self.sustain:
+                self.reset()
+                return -1
+        else:
+            self._up_streak = self._down_streak = 0
+        return 0
+
+    def reset(self) -> None:
+        """Forget smoothed state (after a resize the per-worker signal
+        jumps discontinuously; history would only lag the new level)."""
+        self.ewma = None
+        self._up_streak = self._down_streak = 0
+
+
 class TranslatorPool:
-    """Fixed-size worker pool sharding topics by consistent hashing.
+    """Worker pool sharding topics by consistent hashing — elastic
+    between ``min_workers`` and ``max_workers``.
 
     The hash ring carries ``replicas`` virtual points per worker, so
     adding topics spreads evenly and the worker serving a topic is a pure
@@ -548,17 +685,70 @@ class TranslatorPool:
     side effects, and the same layout regardless of the order topics
     are attached in (broker topic ids are sequential, so hashing on
     them would be order-dependent).
+
+    By default ``min_workers == max_workers == size`` and the pool is
+    fully static (no monitor process, byte-identical behaviour to the
+    fixed pool).  With ``min_workers < max_workers`` a lazily-started,
+    self-terminating monitor samples :attr:`queued` every
+    ``autoscale_interval_s`` and feeds a :class:`PoolAutoscaler`; each
+    grow/shrink re-homes exactly the ring's ~1/K topic share through the
+    exactly-once hold-buffer handover of :meth:`_migrate`.
     """
 
-    def __init__(self, server: "ProvLightServer", size: int, *,
-                 replicas: int = 32, max_batch: int = 32):
+    def __init__(
+        self,
+        server: "ProvLightServer",
+        size: int,
+        *,
+        replicas: int = 32,
+        max_batch: int = 32,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        autoscale_interval_s: float = 0.25,
+        high_water: float = 8.0,
+        low_water: float = 2.0,
+        sustain: int = 3,
+        drain_poll_s: float = 0.01,
+    ):
         if size <= 0:
             raise ValueError("translator pool needs at least one worker")
         self.server = server
+        self.env = server.env
+        self.replicas = replicas
+        self.worker_max_batch = max_batch
+        self.min_workers = size if min_workers is None else min_workers
+        self.max_workers = size if max_workers is None else max_workers
+        if self.min_workers < 1:
+            raise ValueError("pool min_workers must be >= 1")
+        if not self.min_workers <= size <= self.max_workers:
+            raise ValueError(
+                f"pool size {size} outside bounds "
+                f"[{self.min_workers}, {self.max_workers}]"
+            )
+        if autoscale_interval_s <= 0:
+            raise ValueError("autoscale_interval_s must be > 0")
+        if drain_poll_s <= 0:
+            raise ValueError("drain_poll_s must be > 0")
+        self.autoscale_interval_s = autoscale_interval_s
+        self.drain_poll_s = drain_poll_s
+        self.autoscaler = PoolAutoscaler(
+            self.min_workers,
+            self.max_workers,
+            high_water=high_water,
+            low_water=low_water,
+            sustain=sustain,
+        )
         self.workers = [
             _TranslatorWorker(server, i + 1, max_batch) for i in range(size)
         ]
+        for worker in self.workers:
+            worker.pool = self
         self._ring = ConsistentHashRing(size, replicas=replicas, salt="worker")
+        self.grows = Counter("pool-grows")
+        self.shrinks = Counter("pool-shrinks")
+        self.grow_failures = Counter("pool-grow-failures")
+        self.migrated_filters = Counter("pool-migrated-filters")
+        self._monitor = None
 
     def __len__(self) -> int:
         return len(self.workers)
@@ -588,8 +778,175 @@ class TranslatorPool:
         """Supervised worker restarts, pool-wide."""
         return sum(worker.restarts.count for worker in self.workers)
 
+    # -- elasticity --------------------------------------------------------
+    def _wake_autoscaler(self) -> None:
+        """Arm the autoscale monitor (called on every worker inbox put).
+
+        The monitor is lazily started and self-terminating — the event
+        heap liveness rule: an idle pool at min size must leave the heap
+        empty so ``env.run()`` without ``until`` can terminate.  A
+        static pool (``max_workers == min_workers``) never starts it.
+        """
+        if self.max_workers <= self.min_workers:
+            return
+        if self._monitor is None or not self._monitor.is_alive:
+            self._monitor = self.env.process(
+                self._autoscale_loop(), name="translator-pool-autoscaler"
+            )
+
+    def _autoscale_loop(self):
+        idle_ticks = 0
+        while True:
+            yield self.env.timeout(self.autoscale_interval_s)
+            delta = self.autoscaler.observe(self.queued, len(self.workers))
+            if delta > 0:
+                yield from self._grow()
+            elif delta < 0:
+                yield from self._shrink()
+            if self.queued == 0 and len(self.workers) <= self.min_workers:
+                idle_ticks += 1
+                if idle_ticks >= 2:
+                    return  # parked; the next inbox put re-arms it
+            else:
+                idle_ticks = 0
+
+    def _grow(self):
+        """Generator: add one worker and migrate its ring share onto it."""
+        if len(self.workers) >= self.max_workers:
+            return
+        index = len(self.workers)
+        worker = _TranslatorWorker(self.server, index + 1, self.worker_max_batch)
+        worker.pool = self
+        try:
+            yield from worker._ensure_connected()
+        except Exception:
+            # broker unreachable: abandon the attempt quietly; the next
+            # sustained signal retries with a fresh worker
+            self.grow_failures.record()
+            worker.retire()
+            return
+        new_ring = ConsistentHashRing(
+            index + 1, replicas=self.replicas, salt="worker"
+        )
+        # the ring-subset property: exactly the filters the (K+1)-ring
+        # assigns to the new node move; everything else stays put
+        moves = []
+        for owner in self.workers:
+            for pattern in owner.topic_filters:
+                if new_ring.node_for(pattern) == index:
+                    moves.append((pattern, owner))
+        self.workers.append(worker)
+        self._ring = new_ring  # new attaches land by the grown layout
+        for pattern, owner in moves:
+            yield from self._migrate(pattern, owner, worker)
+        self.grows.record()
+        self.autoscaler.reset()
+
+    def _shrink(self):
+        """Generator: drain and retire the highest-index worker."""
+        if len(self.workers) <= self.min_workers:
+            return
+        dying = self.workers[-1]
+        new_ring = ConsistentHashRing(
+            len(self.workers) - 1, replicas=self.replicas, salt="worker"
+        )
+        self._ring = new_ring  # attaches during the drain land on survivors
+        for pattern in list(dying.topic_filters):
+            target = self.workers[new_ring.node_for(pattern)]
+            yield from self._migrate(pattern, dying, target)
+        while dying.queued or dying._inflight:
+            yield self.env.timeout(self.drain_poll_s)
+        self.workers.pop()
+        dying.retire()
+        self.shrinks.record()
+        self.autoscaler.reset()
+
+    def _migrate(self, pattern: str, old: _TranslatorWorker,
+                 new: _TranslatorWorker):
+        """Generator: hand ``pattern`` (and its queued traffic) from
+        ``old`` to ``new`` with exactly-once, order-preserving delivery.
+
+        The hold-buffer handover:
+
+        1. bind a hold buffer for ``pattern`` on the new worker's client
+           — deliveries routed there before the handover completes are
+           parked, not processed;
+        2. flip the filter at the broker's routing index in one
+           simulation instant (``move_subscription``): no wire exchange,
+           so routing never has a gap (lost PUBLISHes) or an overlap
+           (duplicates);
+        3. wait until the old worker has flushed every matching payload
+           it already received — its handler stays bound meanwhile, so
+           deliveries in flight toward the old subscriber when the index
+           flipped still land in its inbox and drain in order;
+        4. in one instant (no yield): unbind the old handler, move the
+           hold buffer into the new worker's inbox, bind its live
+           handler.  The old worker finished all matching work before
+           any held item is processed, so each capture client's seq
+           stream stays ordered across the handover.
+        """
+        yield from new._ensure_connected()
+        broker = self.server.broker
+        qos = 2
+        for held_pattern, held_qos in (
+            broker.subscriptions.subscriptions_of(old.endpoint)
+        ):
+            if held_pattern == pattern:
+                qos = held_qos
+                break
+        hold: List[Tuple[str, bytes]] = []
+
+        def collect(topic: str, payload: bytes) -> None:
+            hold.append((topic, payload))
+
+        new.client.bind_filter(pattern, collect)
+        broker.move_subscription(old.endpoint, new.endpoint, pattern, qos)
+        # always give in-flight deliveries toward the old subscriber one
+        # poll interval to land before declaring the old worker clean
+        yield self.env.timeout(self.drain_poll_s)
+        while old._has_pending(pattern):
+            yield self.env.timeout(self.drain_poll_s)
+        old.client.unbind_filter(pattern)
+        if pattern in old.topic_filters:
+            old.topic_filters.remove(pattern)
+        new.client.unbind_filter(pattern, collect)
+        for item in hold:
+            new._inbox.put(item)
+        new.client.bind_filter(pattern, new._on_message)
+        new.topic_filters.append(pattern)
+        self.migrated_filters.record()
+
+    # -- observability -----------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Cheap point-in-time snapshot of the translator plane."""
+        return {
+            "size": len(self.workers),
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "queued": self.queued,
+            "ewma_per_worker": self.autoscaler.ewma,
+            "grows": self.grows.count,
+            "shrinks": self.shrinks.count,
+            "grow_failures": self.grow_failures.count,
+            "migrated_filters": self.migrated_filters.count,
+            "workers": [
+                {
+                    "index": worker.index,
+                    "queued": worker.queued,
+                    "filters": len(worker.topic_filters),
+                    "crashes": worker.crashes.count,
+                    "restarts": worker.restarts.count,
+                }
+                for worker in self.workers
+            ],
+        }
+
     def __repr__(self) -> str:
-        return f"<TranslatorPool workers={len(self.workers)} queued={self.queued}>"
+        return (
+            f"<TranslatorPool workers={len(self.workers)} "
+            f"bounds=[{self.min_workers},{self.max_workers}] "
+            f"queued={self.queued}>"
+        )
 
 
 class ProvLightServer:
@@ -601,6 +958,12 @@ class ProvLightServer:
     which delegates the standalone broker's surface (``sessions``,
     ``topics``, ``subscriptions``, retry knobs, counters) at any shard
     count.
+
+    ``broker_placement`` selects the cluster's session-placement policy
+    (``"hash"`` — pure client-id ring hash, the default — or ``"p2c"``
+    — power-of-two-choices on live shard load); ``pool_min`` /
+    ``pool_max`` bound the elastic translator pool (both default to
+    ``workers``, i.e. a static pool).
     """
 
     def __init__(
@@ -613,6 +976,9 @@ class ProvLightServer:
         cipher=None,
         workers: int = DEFAULT_TRANSLATOR_WORKERS,
         broker_shards: int = DEFAULT_BROKER_SHARDS,
+        broker_placement: str = "hash",
+        pool_min: Optional[int] = None,
+        pool_max: Optional[int] = None,
         dedup_state_path: Optional[str] = None,
     ):
         self.host = host
@@ -627,8 +993,11 @@ class ProvLightServer:
             service_time_s=costs.broker_per_packet_s,
             batch_fixed_s=costs.broker_batch_fixed_s,
             dispatch_fixed_s=costs.broker_dispatch_fixed_s,
+            placement=broker_placement,
         )
-        self.pool = TranslatorPool(self, workers)
+        self.pool = TranslatorPool(
+            self, workers, min_workers=pool_min, max_workers=pool_max
+        )
         #: one entry per attached topic filter (compatibility with the
         #: seed's translator-per-topic bookkeeping): the worker shard
         #: each ``add_translator`` call landed on.

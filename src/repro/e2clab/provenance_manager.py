@@ -87,6 +87,9 @@ class ProvenanceManager:
         host_name: Optional[str] = None,
         translator_workers: int = DEFAULT_TRANSLATOR_WORKERS,
         broker_shards: int = DEFAULT_BROKER_SHARDS,
+        broker_placement: str = "hash",
+        pool_min: Optional[int] = None,
+        pool_max: Optional[int] = None,
         transport: Optional[str] = None,
         chaos: Optional[str] = None,
     ):
@@ -124,9 +127,17 @@ class ProvenanceManager:
             device = Device(self.env, XEON_GOLD_5220, name=host_name)
             host = network.add_host(host_name, device=device)
         self.host = host
+        # the bounds express the elastic envelope; clamp the static
+        # default worker count into it rather than refusing to deploy
+        if pool_min is not None:
+            translator_workers = max(translator_workers, pool_min)
+        if pool_max is not None:
+            translator_workers = min(translator_workers, pool_max)
         self.server = ProvLightServer(
             host, CallableBackend(self.service.ingest), target=target,
             workers=translator_workers, broker_shards=broker_shards,
+            broker_placement=broker_placement,
+            pool_min=pool_min, pool_max=pool_max,
         )
         #: lazily deployed non-MQTT-SN sinks: transport -> (server, endpoint)
         self._sinks: Dict[str, tuple] = {}

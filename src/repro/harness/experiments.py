@@ -73,6 +73,45 @@ def _default_broker_shards() -> int:
     return shards
 
 
+def _default_broker_placement() -> str:
+    """Session placement policy; ``REPRO_BROKER_PLACEMENT`` overrides.
+
+    ``hash`` (consistent hashing, the default) or ``p2c`` (load-aware
+    power-of-two-choices).  Same loud-failure contract as
+    :func:`_default_broker_shards`.
+    """
+    value = os.environ.get("REPRO_BROKER_PLACEMENT")
+    if not value:
+        return "hash"
+    if value not in ("hash", "p2c"):
+        raise ValueError(
+            f"REPRO_BROKER_PLACEMENT must be 'hash' or 'p2c', got {value!r}"
+        )
+    return value
+
+
+def _default_pool_bound(var: str) -> Optional[int]:
+    """Optional translator-pool bound from ``REPRO_POOL_MIN``/``_MAX``."""
+    value = os.environ.get(var)
+    if not value:
+        return None
+    try:
+        bound = int(value)
+    except ValueError:
+        raise ValueError(f"{var} must be an integer, got {value!r}") from None
+    if bound < 1:
+        raise ValueError(f"{var} must be >= 1, got {bound}")
+    return bound
+
+
+def _default_pool_min() -> Optional[int]:
+    return _default_pool_bound("REPRO_POOL_MIN")
+
+
+def _default_pool_max() -> Optional[int]:
+    return _default_pool_bound("REPRO_POOL_MAX")
+
+
 def _default_chaos() -> Optional[str]:
     """Chaos profile spec; ``REPRO_CHAOS`` injects one into every run.
 
@@ -109,6 +148,14 @@ class ExperimentSetup:
     #: broker shards behind the server endpoint (1 = the single-broker
     #: deployment; ``REPRO_BROKER_SHARDS`` overrides the default)
     broker_shards: int = field(default_factory=_default_broker_shards)
+    #: session placement policy across broker shards (``hash`` = consistent
+    #: hashing, ``p2c`` = load-aware power-of-two-choices;
+    #: ``REPRO_BROKER_PLACEMENT`` overrides the default)
+    broker_placement: str = field(default_factory=_default_broker_placement)
+    #: elastic translator-pool bounds (``None`` = static pool of
+    #: ``translator_workers``; ``REPRO_POOL_MIN``/``REPRO_POOL_MAX`` override)
+    pool_min: Optional[int] = field(default_factory=_default_pool_min)
+    pool_max: Optional[int] = field(default_factory=_default_pool_max)
     #: server-plane chaos schedule (:class:`~repro.net.ChaosProfile` spec
     #: string, e.g. ``"kill-shard@2.0"``; ``REPRO_CHAOS`` sets a default)
     chaos: Optional[str] = field(default_factory=_default_chaos)
@@ -118,6 +165,19 @@ class ExperimentSetup:
         if not self.chaos:
             return None
         return ChaosProfile.parse(self.chaos)
+
+    def effective_translator_workers(self) -> int:
+        """Starting pool size: ``translator_workers`` clamped into the
+        elastic bounds.  ``--pool-min``/``--pool-max`` express intent
+        about the pool envelope; the static default (8) must not make
+        the server refuse to start when it falls outside that envelope.
+        """
+        workers = self.translator_workers
+        if self.pool_min is not None:
+            workers = max(workers, self.pool_min)
+        if self.pool_max is not None:
+            workers = min(workers, self.pool_max)
+        return workers
 
     def capture_config(self) -> CaptureConfig:
         """The declarative capture config this condition describes."""
@@ -138,6 +198,10 @@ class ExperimentSetup:
             parts.append(f"devices={self.n_devices}")
         if self.broker_shards > 1:
             parts.append(f"shards={self.broker_shards}")
+        if self.broker_placement != "hash":
+            parts.append(f"placement={self.broker_placement}")
+        if self.pool_min is not None or self.pool_max is not None:
+            parts.append(f"pool={self.pool_min or '-'}..{self.pool_max or '-'}")
         if self.chaos:
             parts.append(f"chaos={self.chaos}")
         if self.device_spec is not A8M3:
@@ -242,8 +306,11 @@ def run_capture_experiment(
         if transport == "mqttsn":
             server = ProvLightServer(
                 net.hosts["cloud"], CallableBackend(backend_service.ingest),
-                workers=setup.translator_workers,
+                workers=setup.effective_translator_workers(),
                 broker_shards=setup.broker_shards,
+                broker_placement=setup.broker_placement,
+                pool_min=setup.pool_min,
+                pool_max=setup.pool_max,
             )
             endpoint = server.endpoint
             if chaos_profile is not None:

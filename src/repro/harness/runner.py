@@ -84,6 +84,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="broker shards behind the ProvLight server "
                         "endpoint for every experiment (default: 1, the "
                         "single-broker deployment)")
+    parser.add_argument("--broker-placement", choices=("hash", "p2c"),
+                        default=None,
+                        help="session placement policy across broker shards "
+                        "(hash = consistent hashing, the default; p2c = "
+                        "load-aware power-of-two-choices)")
+    parser.add_argument("--pool-min", type=int, default=None, metavar="N",
+                        help="lower bound of the elastic translator pool "
+                        "(default: static pool, no autoscaling)")
+    parser.add_argument("--pool-max", type=int, default=None, metavar="N",
+                        help="upper bound of the elastic translator pool "
+                        "(default: static pool, no autoscaling)")
     parser.add_argument("--chaos", metavar="SPEC", default=None,
                         help="server-plane chaos schedule applied to every "
                         "ProvLight run, e.g. 'kill-shard@2.0' or "
@@ -95,6 +106,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.broker_shards is not None and args.broker_shards < 1:
         parser.error("--broker-shards must be >= 1")
+    for bound, flag in ((args.pool_min, "--pool-min"),
+                        (args.pool_max, "--pool-max")):
+        if bound is not None and bound < 1:
+            parser.error(f"{flag} must be >= 1")
+    if (args.pool_min is not None and args.pool_max is not None
+            and args.pool_min > args.pool_max):
+        parser.error("--pool-min must be <= --pool-max")
     if args.chaos is not None:
         from ..net import ChaosProfile
 
@@ -106,7 +124,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     # environment hooks retarget them all (see experiments.py).  Restore
     # them afterwards so an in-process caller (tests, notebooks) does not
     # inherit the override.
-    overrides = {"REPRO_BROKER_SHARDS": args.broker_shards, "REPRO_CHAOS": args.chaos}
+    overrides = {
+        "REPRO_BROKER_SHARDS": args.broker_shards,
+        "REPRO_BROKER_PLACEMENT": args.broker_placement,
+        "REPRO_POOL_MIN": args.pool_min,
+        "REPRO_POOL_MAX": args.pool_max,
+        "REPRO_CHAOS": args.chaos,
+    }
     previous = {name: os.environ.get(name) for name in overrides}
     try:
         for name, value in overrides.items():

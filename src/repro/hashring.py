@@ -11,12 +11,21 @@ even, and the points of node ``i`` depend only on ``(salt, i)`` — a ring
 of K+1 nodes therefore contains the K-node ring's points as a subset,
 which is exactly what makes grow/shrink remap only the keys that land on
 the new node's arcs (``tests/property/test_invariants.py`` pins this).
+
+Nodes can additionally be **weighted**: a node of weight ``w`` carries
+``round(replicas * w)`` virtual points, so its expected key share scales
+with ``w``.  Because a node's points depend only on ``(salt, node,
+point index)``, raising a weight only *adds* that node's higher-index
+points (keys move onto the heavier node, never between bystanders) and
+lowering it only removes them — the per-node analogue of the grow/shrink
+subset property.  At the default weight of 1.0 the ring is
+point-for-point identical to the unweighted one.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List
+from typing import Dict, List, Optional, Sequence, Union
 from zlib import crc32
 
 __all__ = ["ConsistentHashRing"]
@@ -25,9 +34,17 @@ __all__ = ["ConsistentHashRing"]
 class ConsistentHashRing:
     """A fixed ring mapping string keys onto ``n_nodes`` integer nodes."""
 
-    __slots__ = ("n_nodes", "replicas", "salt", "_points", "_nodes")
+    __slots__ = ("n_nodes", "replicas", "salt", "_points", "_nodes",
+                 "_weights", "_removed")
 
-    def __init__(self, n_nodes: int, *, replicas: int = 32, salt: str = "worker"):
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        replicas: int = 32,
+        salt: str = "worker",
+        weights: Optional[Union[Sequence[float], Dict[int, float]]] = None,
+    ):
         if n_nodes <= 0:
             raise ValueError("hash ring needs at least one node")
         if replicas <= 0:
@@ -35,10 +52,34 @@ class ConsistentHashRing:
         self.n_nodes = n_nodes
         self.replicas = replicas
         self.salt = salt
+        self._weights: Dict[int, float] = {i: 1.0 for i in range(n_nodes)}
+        self._removed: set = set()
+        if weights is not None:
+            items = (
+                weights.items() if isinstance(weights, dict)
+                else enumerate(weights)
+            )
+            for node, weight in items:
+                self._validate_weight(node, weight)
+                self._weights[node] = float(weight)
+        self._rebuild()
+
+    def _validate_weight(self, node: int, weight: float) -> None:
+        if node not in self._weights:
+            raise ValueError(f"node {node} is not on the ring")
+        if node in self._removed:
+            raise ValueError(f"node {node} was removed from the ring")
+        if not weight > 0:
+            raise ValueError(f"node weight must be > 0, got {weight!r}")
+
+    def _rebuild(self) -> None:
         points: List[tuple] = []
-        for i in range(n_nodes):
+        for i in range(self.n_nodes):
+            if i in self._removed:
+                continue
+            count = max(1, round(self.replicas * self._weights[i]))
             points.extend(
-                (crc32(f"{salt}-{i}#{v}".encode()), i) for v in range(replicas)
+                (crc32(f"{self.salt}-{i}#{v}".encode()), i) for v in range(count)
             )
         points.sort()
         self._points = [p for p, _ in points]
@@ -49,6 +90,26 @@ class ConsistentHashRing:
         point = crc32(key.encode())
         idx = bisect_right(self._points, point) % len(self._points)
         return self._nodes[idx]
+
+    def weight_of(self, node: int) -> float:
+        """Current weight of ``node`` (1.0 unless reweighted)."""
+        if node not in self._weights:
+            raise ValueError(f"node {node} is not on the ring")
+        return self._weights[node]
+
+    def set_weight(self, node: int, weight: float) -> None:
+        """Scale ``node``'s share of the key space to ``weight``.
+
+        The load-aware placement path uses this to bias ring-fallback
+        traffic away from overloaded survivors after a failover.  Only
+        the reweighted node's keys move (see module docstring); weight
+        1.0 restores the unweighted point set exactly.
+        """
+        self._validate_weight(node, weight)
+        if self._weights[node] == float(weight):
+            return
+        self._weights[node] = float(weight)
+        self._rebuild()
 
     def remove_node(self, node: int) -> None:
         """Drop ``node``'s virtual points (failover path).
@@ -62,6 +123,7 @@ class ConsistentHashRing:
             raise ValueError(f"node {node} is not on the ring")
         if len(self.live_nodes()) <= 1:
             raise ValueError("cannot remove the last live node")
+        self._removed.add(node)
         pairs = [(p, n) for p, n in zip(self._points, self._nodes) if n != node]
         self._points = [p for p, _ in pairs]
         self._nodes = [n for _, n in pairs]

@@ -115,11 +115,50 @@ class MqttSnClient:
         suback = yield from self._tracked_exchange("subscribe", msg_id, message)
         if suback.topic_id:
             self._topic_names[suback.topic_id] = topic_filter
+        self.bind_filter(topic_filter, handler)
+        return suback.topic_id
+
+    def bind_filter(self, topic_filter: str, handler: MessageHandler) -> None:
+        """Bind ``handler`` for inbound PUBLISHes matching ``topic_filter``
+        without any wire exchange.
+
+        The client-side half of a control-plane subscription handover
+        (``BrokerCluster.move_subscription``): the broker's routing index
+        flips the filter to this client's session atomically, and the
+        receiving client rebinds its local dispatch to match.  Normal
+        subscriptions go through :meth:`subscribe`, which performs the
+        SUBSCRIBE/SUBACK exchange and then calls this.
+        """
         if "+" in topic_filter or "#" in topic_filter:
             self._wildcard_subs.append((topic_filter, handler))
         else:
             self._exact_handlers.setdefault(topic_filter, []).append(handler)
-        return suback.topic_id
+
+    def unbind_filter(
+        self, topic_filter: str, handler: Optional[MessageHandler] = None
+    ) -> None:
+        """Remove handlers bound to ``topic_filter`` (all when ``handler``
+        is None) — local only, the broker-side subscription is untouched."""
+        if "+" in topic_filter or "#" in topic_filter:
+            self._wildcard_subs = [
+                (pattern, bound)
+                for pattern, bound in self._wildcard_subs
+                if not (pattern == topic_filter
+                        and (handler is None or bound is handler))
+            ]
+            return
+        handlers = self._exact_handlers.get(topic_filter)
+        if handlers is None:
+            return
+        if handler is None:
+            del self._exact_handlers[topic_filter]
+            return
+        try:
+            handlers.remove(handler)
+        except ValueError:
+            return
+        if not handlers:
+            del self._exact_handlers[topic_filter]
 
     def publish(self, topic_id: int, payload: bytes, qos: int = 2):
         """Generator completing when the QoS contract is fulfilled."""

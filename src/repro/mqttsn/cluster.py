@@ -29,6 +29,17 @@ Layout (see ``docs/server-architecture.md``):
   and delivered by B with B's own retry timers and
   ``delivery_failures`` accounting.
 
+Session placement is policy-driven (the ``placement`` knob): the default
+``"hash"`` policy keeps the historical pure client-id ring hash, while
+``"p2c"`` places each *new* CONNECT by power-of-two-choices over live
+per-shard load (sessions + socket queue depth) — under skewed client
+populations the hash policy leaves the hottest shard with far more than
+1/N of the sessions, and p2c restores near-even spread.  Either way a
+**sticky placement table** records the chosen owner per client id so
+CONNECT retransmissions, dispatcher repins, failover migration and
+durable-client reconnects all agree; the (weighted) ring remains the
+fallback for ids never explicitly placed.
+
 A cluster of one is wire- and behaviour-identical to a standalone
 broker: no dispatcher, no replication, no relay — the single shard binds
 the public port directly.
@@ -36,7 +47,9 @@ the public port directly.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+import random
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from zlib import crc32
 
 from ..calibration import SERVER_COSTS
 from ..hashring import ConsistentHashRing
@@ -46,7 +59,44 @@ from . import packets as pkt
 from .broker import DEFAULT_BROKER_PORT, MqttSnBroker
 from .topics import SubscriptionIndex
 
-__all__ = ["BrokerCluster", "DEFAULT_BROKER_SHARDS"]
+__all__ = [
+    "BrokerCluster",
+    "DEFAULT_BROKER_SHARDS",
+    "PLACEMENT_POLICIES",
+    "pick_two_choices",
+]
+
+#: valid values for the ``placement`` knob, threaded as
+#: ``--broker-placement`` through the harness and e2clab layers
+PLACEMENT_POLICIES = ("hash", "p2c")
+
+
+def pick_two_choices(
+    candidates: List[int],
+    load: Callable[[int], float],
+    rng: random.Random,
+) -> int:
+    """Power-of-two-choices over ``candidates``: sample two distinct
+    entries, return the one with the smaller ``load`` (ties break to the
+    lower index, so the choice is deterministic given the rng state).
+
+    The classic balls-into-bins result: sampling *two* bins and taking
+    the emptier drops the expected maximum load from Θ(log n / log log n)
+    to Θ(log log n) — almost all the benefit of a full scan at the cost
+    of two probes.  Pure function of its arguments; the property suite
+    pins that the result is always drawn from ``candidates``.
+    """
+    if not candidates:
+        raise ValueError("pick_two_choices needs at least one candidate")
+    if len(candidates) == 1:
+        return candidates[0]
+    a, b = rng.sample(candidates, 2)
+    load_a, load_b = load(a), load(b)
+    if load_a < load_b:
+        return a
+    if load_b < load_a:
+        return b
+    return min(a, b)
 
 #: a single shard keeps the server byte-for-byte compatible with the
 #: pre-cluster deployment; scale-out is opt-in via the knob threaded
@@ -103,6 +153,15 @@ class _ReplicatedIndex(SubscriptionIndex):
         self._cluster.routing_view.add(key, pattern, qos)
         self._cluster._home[key] = self._shard_index
 
+    def discard(self, key: Hashable, pattern: str) -> bool:
+        if not super().discard(key, pattern):
+            return False
+        self._cluster.routing_view.discard(key, pattern)
+        if not self._filters.get(key):
+            # last filter gone: the key no longer homes here for relay
+            self._cluster._home.pop(key, None)
+        return True
+
     def remove(self, key: Hashable) -> None:
         super().remove(key)
         self._cluster.routing_view.remove(key)
@@ -139,6 +198,7 @@ class _ClusterRelay:
                 session = origin.sessions.get(endpoint)
                 if session is None:
                     continue
+                cluster._record_delivery_origin(endpoint, origin_index)
                 origin._stage_delivery(session, topic_name, message, qos)
             else:
                 # bind to the session live *now* (the single broker's
@@ -148,6 +208,8 @@ class _ClusterRelay:
                 session = cluster.shards[home].sessions.get(endpoint)
                 if session is None:
                     continue
+                cluster._record_delivery_origin(endpoint, origin_index)
+                cluster._maybe_rehome(endpoint)
                 self._staged.setdefault(home, []).append(
                     (session, topic_name, message, qos)
                 )
@@ -190,9 +252,23 @@ class _ClusterRelay:
                     dest._stage_delivery(session, topic_name, message, qos)
                 dest._flush_deliveries()
             return
-        for session, topic_name, message, qos in entries:
-            shard._stage_delivery(session, topic_name, message, qos)
-        shard._flush_deliveries()
+        # A subscriber may have moved (shard-affinity rehome, failover
+        # migration) while this hop was in flight: deliver each entry at
+        # its *current* home — staging at a shard that no longer owns the
+        # session would park outbound QoS state whose acks can never
+        # arrive there.
+        fallback = cluster.index_of(shard)
+        regrouped = {}
+        for entry in entries:
+            home = cluster._home.get(entry[0].endpoint, fallback)
+            if home != fallback and not cluster.shards[home].alive:
+                home = fallback
+            regrouped.setdefault(home, []).append(entry)
+        for home, group in regrouped.items():
+            dest = cluster.shards[home]
+            for session, topic_name, message, qos in group:
+                dest._stage_delivery(session, topic_name, message, qos)
+            dest._flush_deliveries()
 
 
 class BrokerCluster:
@@ -201,6 +277,14 @@ class BrokerCluster:
     Constructor knobs mirror :class:`MqttSnBroker` and are applied to
     every shard; ``dispatch_fixed_s`` prices the front dispatcher and
     each inter-shard relay hop.
+
+    ``placement`` selects the session-placement policy for new CONNECTs
+    (see module docstring): ``"hash"`` (default, pure client-id ring
+    hash) or ``"p2c"`` (power-of-two-choices on live shard load).  The
+    ``rehome_*`` knobs govern **shard-affinity rehoming**: a subscriber
+    whose deliveries overwhelmingly originate on another shard is
+    voluntarily migrated there to turn relay hops into local deliveries
+    (only when no in-flight QoS state would be stranded).
     """
 
     def __init__(
@@ -217,17 +301,32 @@ class BrokerCluster:
         max_retries: int = 5,
         replicas: int = 32,
         failover_detect_s: float = 0.05,
+        placement: str = "hash",
+        rehome_min_deliveries: int = 64,
+        rehome_margin: float = 2.0,
     ):
         if shards <= 0:
             raise ValueError("broker cluster needs at least one shard")
         if failover_detect_s <= 0:
             raise ValueError("failover_detect_s must be > 0")
+        if placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {placement!r}; "
+                f"expected one of {PLACEMENT_POLICIES}"
+            )
+        if rehome_min_deliveries < 1:
+            raise ValueError("rehome_min_deliveries must be >= 1")
+        if rehome_margin < 1.0:
+            raise ValueError("rehome_margin must be >= 1.0")
         self.host = host
         self.env = host.env
         self.port = port
         self.dispatch_fixed_s = dispatch_fixed_s
         self.dispatch_per_datagram_s = dispatch_per_datagram_s
         self.failover_detect_s = failover_detect_s
+        self.placement = placement
+        self.rehome_min_deliveries = rehome_min_deliveries
+        self.rehome_margin = rehome_margin
         shard_kwargs = dict(
             service_time_s=service_time_s,
             batch_fixed_s=batch_fixed_s,
@@ -273,6 +372,18 @@ class BrokerCluster:
                 for i in range(shards)
             ]
         self._index_by_id = {id(shard): i for i, shard in enumerate(self.shards)}
+        # ---- placement state: see _place() / shard_of() ------------------
+        #: sticky client-id -> shard decisions; consulted before any policy
+        #: so CONNECT retransmissions, repins and durable reconnects agree
+        self._placement: Dict[str, int] = {}
+        self._p2c_rng = random.Random(crc32(f"{host.name}:{port}".encode()))
+        self.p2c_placements = Counter("p2c-placements")
+        # ---- shard-affinity rehoming state: see _maybe_rehome() ----------
+        #: per-subscriber delivery counts keyed by originating shard
+        self._sub_origins: Dict[Endpoint, Dict[int, int]] = {}
+        #: endpoints with a rehome decision already scheduled
+        self._rehoming: set = set()
+        self.rehomed = Counter("subscribers-rehomed")
         # ---- failover state: see kill_shard() / _failover() --------------
         self.failovers = Counter("shard-failovers")
         self.sessions_migrated = Counter("failover-sessions-migrated")
@@ -376,6 +487,13 @@ class BrokerCluster:
         dead = self.shards[index]
         dead.crashed = True  # stops leftover retry timers for real crashes
         self._failed_over.add(index)
+        # invalidate sticky placements naming the corpse *before* re-homing:
+        # reconnecting durable clients and the migration loop below must
+        # both re-place through the live policy, not repin to the dead shard
+        for client_id in [
+            cid for cid, placed in self._placement.items() if placed == index
+        ]:
+            del self._placement[client_id]
         if len(self._ring.live_nodes()) <= 1:
             # the last shard died: there is no survivor to re-home onto;
             # drop the sessions and leave the (empty) ring alone so a
@@ -383,6 +501,7 @@ class BrokerCluster:
             self.dispatcher.invalidate_shard(index)
             for endpoint in list(dead.sessions):
                 dead.subscriptions.remove(endpoint)
+                self._sub_origins.pop(endpoint, None)
                 self.sessions_dropped.record()
             dead.sessions.clear()
             dead._outbound.clear()
@@ -396,10 +515,14 @@ class BrokerCluster:
         for endpoint, session in list(dead.sessions.items()):
             filters = dead.subscriptions.subscriptions_of(endpoint)
             dead.subscriptions.remove(endpoint)  # replicated: view + home
+            self._sub_origins.pop(endpoint, None)
             if not filters:
                 self.sessions_dropped.record()
                 continue
-            new_index = self._ring.node_for(session.client_id)
+            # place through the live policy: p2c sees the survivors'
+            # session counts shift as this loop migrates, hash falls back
+            # to the shrunk ring (the historical behaviour)
+            new_index = self._place(session.client_id)
             new = self.shards[new_index]
             if not new.alive:
                 # the new owner is a corpse awaiting its own failover
@@ -412,19 +535,75 @@ class BrokerCluster:
             for pattern, qos in filters:
                 new.subscriptions.add(endpoint, pattern, qos)
             self.dispatcher.pins[endpoint] = new_index
+            self._placement[session.client_id] = new_index
             self.sessions_migrated.record()
         dead.sessions.clear()
         dead._outbound.clear()
+        self._rebalance_weights()
         self.failovers.record()
         event = self._failover_events.get(index)
         if event is not None and not event.triggered:
             event.succeed()
 
+    def _rebalance_weights(self) -> None:
+        """Recompute ring weights from live per-shard session load.
+
+        After a failover the survivors are uneven (one of them absorbed
+        the dead shard's subscribers); biasing the ring's virtual points
+        inversely to session count steers *future* ring-fallback traffic
+        — hash placements and unpinned datagrams — toward the lighter
+        shards.  Weights are clamped to [0.25, 4] so no shard ever loses
+        (or monopolises) the key space outright.
+        """
+        alive = self.alive_shards
+        if self._ring is None or len(alive) <= 1:
+            return
+        mean = sum(len(self.shards[i].sessions) for i in alive) / len(alive)
+        for i in alive:
+            weight = (mean + 1.0) / (len(self.shards[i].sessions) + 1.0)
+            self._ring.set_weight(i, min(4.0, max(0.25, weight)))
+
     # ------------------------------------------------------------- routing
     def shard_of(self, client_id: str) -> int:
-        """The shard index a client id homes to (pure function)."""
+        """The shard index a client id homes to (side-effect free).
+
+        Consults the sticky placement table first (so callers agree with
+        whatever the CONNECT-time policy decided), then falls back to the
+        weighted ring for ids never placed — which also keeps this a pure
+        ring hash in the default configuration.
+        """
         if self._ring is None:
             return 0
+        placed = self._placement.get(client_id)
+        if placed is not None and self.shards[placed].alive:
+            return placed
+        return self._ring.node_for(client_id)
+
+    def _place(self, client_id: str) -> int:
+        """Pick the owning shard for ``client_id`` (no recording).
+
+        Sticky decisions are honoured while their shard is alive; new
+        decisions go through the configured policy.  Callers that commit
+        to the decision record it in ``self._placement`` themselves —
+        the split keeps speculative calls (e.g. a migration target that
+        turns out to be a corpse) from poisoning the sticky table.
+        """
+        if self._ring is None:
+            return 0
+        placed = self._placement.get(client_id)
+        if placed is not None and self.shards[placed].alive:
+            return placed
+        if self.placement == "p2c":
+            alive = self.alive_shards
+            if alive:
+                index = pick_two_choices(
+                    alive,
+                    lambda i: len(self.shards[i].sessions)
+                    + self.shards[i].sock.pending,
+                    self._p2c_rng,
+                )
+                self.p2c_placements.record()
+                return index
         return self._ring.node_for(client_id)
 
     def index_of(self, shard: MqttSnBroker) -> int:
@@ -437,7 +616,9 @@ class BrokerCluster:
         if msg_type == pkt.MT_CONNECT:
             client_id = _peek_connect_client_id(payload)
             if client_id is not None:
-                return self._ring.node_for(client_id)
+                index = self._place(client_id)
+                self._placement[client_id] = index
+                return index
         elif msg_type == pkt.MT_DISCONNECT and current is not None:
             # the session ends at its shard; release the sticky pin once
             # this datagram has been forwarded (zero-delay event, so the
@@ -470,6 +651,123 @@ class BrokerCluster:
         # delivery failures for a live, acking client
         for key in [k for k in old._outbound if k[0] == source]:
             del old._outbound[key]
+        self._sub_origins.pop(source, None)
+
+    # ----------------------------------------- subscription / session moves
+    def _subscriber_shard(self, endpoint: Endpoint) -> int:
+        """Index of the shard currently owning ``endpoint``'s session."""
+        for index, shard in enumerate(self.shards):
+            if endpoint in shard.sessions:
+                return index
+        raise KeyError(f"no session for endpoint {endpoint}")
+
+    def move_subscription(
+        self,
+        old_endpoint: Endpoint,
+        new_endpoint: Endpoint,
+        pattern: str,
+        qos: int = 0,
+    ) -> None:
+        """Atomically re-home one filter between two connected subscribers.
+
+        The broker half of a control-plane subscription handover: the
+        filter is discarded from ``old_endpoint``'s index and added under
+        ``new_endpoint``'s in the same simulation instant, so routing
+        never sees a gap (lost PUBLISHes) or an overlap (duplicates) the
+        way a wire UNSUBSCRIBE/SUBSCRIBE pair would.  The receiving
+        client must rebind its local dispatch (``MqttSnClient.
+        bind_filter``); the elastic :class:`~repro.core.server.
+        TranslatorPool` drives this when topic ranges move between
+        workers.  Raises ``KeyError`` when either endpoint has no session
+        or the old endpoint does not hold ``pattern``.
+        """
+        old_shard = self.shards[self._subscriber_shard(old_endpoint)]
+        new_shard = self.shards[self._subscriber_shard(new_endpoint)]
+        if not old_shard.subscriptions.discard(old_endpoint, pattern):
+            raise KeyError(
+                f"endpoint {old_endpoint} does not hold filter {pattern!r}"
+            )
+        new_shard.subscriptions.add(new_endpoint, pattern, qos)
+
+    # -------------------------------------------- shard-affinity rehoming
+    def _record_delivery_origin(self, endpoint: Endpoint, origin: int) -> None:
+        origins = self._sub_origins.get(endpoint)
+        if origins is None:
+            origins = self._sub_origins[endpoint] = {}
+        origins[origin] = origins.get(origin, 0) + 1
+
+    def _maybe_rehome(self, endpoint: Endpoint) -> None:
+        """Schedule a shard-affinity move when one remote origin dominates.
+
+        Checked on the relay path only (local deliveries never motivate a
+        move).  The decision runs in a zero-delay process so the session
+        never moves in the middle of a routing match.
+        """
+        origins = self._sub_origins.get(endpoint)
+        if origins is None or endpoint in self._rehoming:
+            return
+        total = sum(origins.values())
+        if total < self.rehome_min_deliveries or total % 16:
+            return
+        home = self._home.get(endpoint)
+        if home is None:
+            return
+        best = max(sorted(origins), key=lambda i: origins[i])
+        if best == home or not self.shards[best].alive:
+            return
+        if origins[best] < self.rehome_margin * max(1, origins.get(home, 0)):
+            return
+        self._rehoming.add(endpoint)
+        self.env.process(self._rehome_later(endpoint, best))
+
+    def _rehome_later(self, endpoint: Endpoint, new_index: int):
+        yield self.env.timeout(0)
+        try:
+            self.rehome_subscriber(endpoint, new_index)
+        finally:
+            self._rehoming.discard(endpoint)
+
+    def rehome_subscriber(self, endpoint: Endpoint, new_index: int) -> bool:
+        """Voluntarily migrate one subscriber session to ``new_index``.
+
+        Turns dominant relay traffic into local deliveries: the session
+        object moves with ``known_topic_ids`` cleared (ids are
+        shard-local; the new shard re-REGISTERs ahead of its next
+        delivery), filters are re-added through the new shard's
+        replicated index, and the dispatcher pin plus sticky placement
+        follow.  Returns False — deferring, not failing — whenever the
+        move is unsafe or moot: unknown session, same shard, a dead
+        endpoint of the hop, or in-flight outbound QoS state on the old
+        shard whose acknowledgements would be stranded by the move.
+        """
+        if self._ring is None:
+            raise ValueError("cannot rehome on a single-shard cluster")
+        try:
+            old_index = self._subscriber_shard(endpoint)
+        except KeyError:
+            return False
+        if old_index == new_index:
+            return False
+        old, new = self.shards[old_index], self.shards[new_index]
+        if not old.alive or not new.alive:
+            return False
+        if any(key[0] == endpoint for key in old._outbound):
+            return False
+        session = old.sessions.get(endpoint)
+        filters = old.subscriptions.subscriptions_of(endpoint)
+        if session is None or not filters:
+            return False
+        old.subscriptions.remove(endpoint)
+        del old.sessions[endpoint]
+        session.known_topic_ids.clear()
+        new.sessions[endpoint] = session
+        for pattern, qos in filters:
+            new.subscriptions.add(endpoint, pattern, qos)
+        self.dispatcher.pins[endpoint] = new_index
+        self._placement[session.client_id] = new_index
+        self._sub_origins.pop(endpoint, None)
+        self.rehomed.record()
+        return True
 
     # ----------------------------------------------------- delegated views
     @property
@@ -560,11 +858,53 @@ class BrokerCluster:
     def serviced_batches(self):
         return self._aggregate("serviced_batches")
 
+    # --------------------------------------------------------- observability
+    def stats(self) -> Dict[str, object]:
+        """Cheap point-in-time snapshot of the broker plane.
+
+        Plain counter/len reads — no locking, no simulation time — so
+        the autoscaler, the benchmarks and operators can poll it on the
+        hot path.  ``max_mean_session_ratio`` is the skew figure the
+        placement acceptance criteria gate on (1.0 = perfectly even).
+        """
+        pins = (
+            self.dispatcher.pin_counts() if self.dispatcher is not None else {}
+        )
+        per_shard = []
+        for i, shard in enumerate(self.shards):
+            per_shard.append({
+                "index": i,
+                "alive": shard.alive,
+                "sessions": len(shard.sessions),
+                "inbox_depth": shard.sock.pending,
+                "pinned_endpoints": pins.get(i, 0),
+                "forwarded": shard.forwarded.count,
+                "serviced_batches": shard.serviced_batches.count,
+                "delivery_failures": shard.delivery_failures.count,
+            })
+        live_counts = [s["sessions"] for s in per_shard if s["alive"]]
+        mean = sum(live_counts) / len(live_counts) if live_counts else 0.0
+        return {
+            "placement": self.placement,
+            "shards": per_shard,
+            "sessions": sum(live_counts),
+            "placement_entries": len(self._placement),
+            "max_mean_session_ratio": (
+                max(live_counts) / mean if live_counts and mean else 0.0
+            ),
+            "relayed": self.relayed.count,
+            "relay_redirected": self.relay_redirected.count,
+            "relay_dropped": self.relay_dropped.count,
+            "rehomed": self.rehomed.count,
+            "failovers": self.failovers.count,
+        }
+
     def __len__(self) -> int:
         return len(self.shards)
 
     def __repr__(self) -> str:
         return (
             f"<BrokerCluster {self.host.name}:{self.port} "
-            f"shards={len(self.shards)} sessions={len(self.sessions)}>"
+            f"shards={len(self.shards)} sessions={len(self.sessions)} "
+            f"placement={self.placement}>"
         )

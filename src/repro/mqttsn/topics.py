@@ -173,6 +173,32 @@ class SubscriptionIndex:
             out.append((pattern, node.subs[key][1]))
         return out
 
+    def discard(self, key: Hashable, pattern: str) -> bool:
+        """Drop one ``(key, pattern)`` subscription; True when it existed.
+
+        The control-plane half of a subscription handover: an elastic
+        :class:`TranslatorPool` re-homes a topic range by discarding the
+        filter from the old worker's key and re-adding it under the new
+        worker's in the same simulation instant, so routing never sees a
+        gap (lost PUBLISHes) or an overlap (duplicate deliveries).
+        """
+        filters = self._filters.get(key)
+        if not filters or pattern not in filters:
+            return False
+        filters.remove(pattern)
+        if not filters:
+            del self._filters[key]
+        if "+" not in pattern and "#" not in pattern:
+            bucket = self._exact.get(pattern)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._exact[pattern]
+            return True
+        self._trie_remove(self._root, pattern.split("/"), 0, key)
+        self._wildcards -= 1
+        return True
+
     def remove(self, key: Hashable) -> None:
         """Drop every subscription held by ``key`` (DISCONNECT path)."""
         for pattern in self._filters.pop(key, ()):

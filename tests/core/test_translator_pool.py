@@ -16,14 +16,15 @@ from repro.net import Network
 from repro.simkernel import Environment
 
 
-def make_world(workers=4, n_edge=2):
+def make_world(workers=4, n_edge=2, **server_kwargs):
     env = Environment()
     net = Network(env, seed=4)
     cloud_dev = Device(env, XEON_GOLD_5220, name="cloud-dev")
     net.add_host("cloud", device=cloud_dev)
     sink = []
     server = ProvLightServer(
-        net.hosts["cloud"], CallableBackend(sink.extend), workers=workers
+        net.hosts["cloud"], CallableBackend(sink.extend), workers=workers,
+        **server_kwargs,
     )
     devices = []
     for i in range(n_edge):
@@ -163,6 +164,161 @@ def test_connect_failure_propagates_and_does_not_wedge_the_worker():
     env.run()
     assert sorted(errors) == ["provlight/a", "provlight/b"]
     assert worker.topic_filters == ["provlight/c"]  # later attach recovered
+
+
+def test_grow_migrates_only_ring_remapped_topics():
+    """Growing by one worker re-homes exactly the filters the (K+1)-node
+    ring assigns to the new worker (the ring-subset property applied to
+    live subscriptions); everything else keeps its owner."""
+    from repro.hashring import ConsistentHashRing
+
+    env, net, server, devices, sink = make_world(
+        workers=2, pool_min=2, pool_max=3
+    )
+    topics = [f"provlight/dev-{i}/data" for i in range(32)]
+
+    def scenario(env):
+        for topic in topics:
+            yield from server.add_translator(topic)
+        before = {
+            topic: server.pool.worker_for(topic).index - 1 for topic in topics
+        }
+        yield from server.pool._grow()
+        grown = ConsistentHashRing(3, salt="worker")
+        for topic in topics:
+            owner = next(
+                w.index - 1 for w in server.pool.workers
+                if topic in w.topic_filters
+            )
+            assert owner == grown.node_for(topic)
+            if grown.node_for(topic) != 2:  # not remapped: stayed put
+                assert owner == before[topic]
+
+    env.process(scenario(env))
+    env.run()
+    assert len(server.pool) == 3
+    moved = sum(
+        1 for t in topics
+        if ConsistentHashRing(3, salt="worker").node_for(t) == 2
+    )
+    assert server.pool.migrated_filters.count == moved
+    assert server.pool.grows.count == 1
+
+
+def test_pool_autoscales_up_under_load_and_back_to_min_when_idle():
+    """Sustained inbox depth grows the pool; draining it shrinks back to
+    ``pool_min`` — with exactly-once, per-client-ordered ingestion across
+    every topic handover."""
+    import dataclasses
+
+    from repro.calibration import SERVER_COSTS
+
+    env = Environment()
+    net = Network(env, seed=4)
+    net.add_host("cloud", device=Device(env, XEON_GOLD_5220, name="cloud-dev"))
+    sink = []
+    server = ProvLightServer(
+        net.hosts["cloud"], CallableBackend(sink.extend),
+        workers=1, pool_min=1, pool_max=4,
+        # inflate the per-message translate cost (reference seconds; the
+        # Xeon's io_speedup divides it) so one worker saturates and
+        # sustained queue depth builds
+        costs=dataclasses.replace(SERVER_COSTS, translate_per_message_s=0.45),
+    )
+    dev = Device(env, A8M3, name="edge-0")
+    net.add_host("edge-0", device=dev)
+    # low latency: the clients' QoS-2 round trips must outpace service
+    net.connect("edge-0", "cloud", bandwidth_bps=1e9, latency_s=0.0005)
+
+    sizes = []
+    done = []
+
+    def sampler(env):
+        while len(done) < 3 or server.pool.queued:
+            sizes.append(len(server.pool))
+            yield env.timeout(0.1)
+        for _ in range(40):  # watch the shrink back to min
+            sizes.append(len(server.pool))
+            yield env.timeout(0.1)
+
+    def workload(env, topic, n_tasks):
+        yield from server.add_translator(topic)
+        client = ProvLightClient(dev, server.endpoint, topic)
+        yield from client.setup()
+        wf = Workflow(topic, client)
+        yield from wf.begin()
+        for i in range(n_tasks):
+            task = Task(i, wf)
+            yield from task.begin([])
+            yield env.timeout(0.001)
+            yield from task.end([])
+        yield from wf.end(drain=True)
+        done.append(topic)
+
+    for t in range(3):
+        env.process(workload(env, f"provlight/edge-{t}/data", 40))
+    env.process(sampler(env))
+    env.run()
+    assert server.pool.grows.count >= 1
+    assert server.pool.migrated_filters.count >= 1  # handover under load
+    assert max(sizes) > 1  # it actually ran wider than min
+    assert len(server.pool) == 1  # ...and came back down when idle
+    assert server.pool.shrinks.count >= 1
+    assert server.pool.queued == 0
+    # exactly once: 3 x (2 workflow events + 40 x (begin + end))
+    assert server.records_ingested.total == 246
+    # per-client order survived every handover: each task's RUNNING
+    # record was ingested before its FINISHED record
+    seen = {}
+    for record in sink:
+        if record["type"] != "task":
+            continue
+        key = (record["dataflow_tag"], record["task_id"])
+        if record["status"] == "RUNNING":
+            assert key not in seen
+            seen[key] = "RUNNING"
+        else:
+            assert seen.get(key) == "RUNNING"
+            seen[key] = "FINISHED"
+    assert all(v == "FINISHED" for v in seen.values())
+
+
+def test_static_pool_never_starts_the_autoscale_monitor():
+    env, net, server, devices, sink = make_world(workers=2, n_edge=1)
+
+    def scenario(env):
+        yield from server.add_translator("provlight/edge-0/data")
+        client = ProvLightClient(
+            devices[0], server.endpoint, "provlight/edge-0/data"
+        )
+        _run_workflow(env, client, wf_id="static", n_tasks=2)
+        yield env.timeout(30)
+
+    env.process(scenario(env))
+    env.run()
+    assert server.pool._monitor is None
+    assert server.pool.grows.count == 0
+    assert server.pool.shrinks.count == 0
+
+
+def test_pool_stats_snapshot():
+    env, net, server, devices, sink = make_world(
+        workers=2, pool_min=1, pool_max=4
+    )
+
+    def scenario(env):
+        yield from server.add_translator("provlight/edge-0/data")
+
+    env.process(scenario(env))
+    env.run()
+    stats = server.pool.stats()
+    assert stats["size"] == 2
+    assert stats["min_workers"] == 1
+    assert stats["max_workers"] == 4
+    assert stats["queued"] == 0
+    assert stats["grows"] == 0
+    assert len(stats["workers"]) == 2
+    assert sum(w["filters"] for w in stats["workers"]) == 1
 
 
 def test_callable_backend_uniform_generator_protocol():

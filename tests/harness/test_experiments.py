@@ -96,6 +96,33 @@ def test_default_repetitions_env(monkeypatch):
     assert default_repetitions() == 1
 
 
+def test_placement_and_pool_env_hooks(monkeypatch):
+    monkeypatch.setenv("REPRO_BROKER_PLACEMENT", "p2c")
+    monkeypatch.setenv("REPRO_POOL_MIN", "2")
+    monkeypatch.setenv("REPRO_POOL_MAX", "4")
+    setup = ExperimentSetup(system="provlight")
+    assert setup.broker_placement == "p2c"
+    assert (setup.pool_min, setup.pool_max) == (2, 4)
+    assert "placement=p2c" in setup.describe()
+    assert "pool=2..4" in setup.describe()
+    monkeypatch.setenv("REPRO_BROKER_PLACEMENT", "round-robin")
+    with pytest.raises(ValueError):
+        ExperimentSetup(system="provlight")
+
+
+def test_pool_bounds_clamp_the_static_worker_default(monkeypatch):
+    # --pool-min/--pool-max express the elastic envelope: the static
+    # default of 8 workers must be clamped into it, not refuse to start
+    setup = ExperimentSetup(system="provlight", pool_min=2, pool_max=4)
+    assert setup.translator_workers == 8  # the declared default is kept
+    assert setup.effective_translator_workers() == 4
+    assert ExperimentSetup(
+        system="provlight", translator_workers=1, pool_min=2
+    ).effective_translator_workers() == 2
+    outcome = run_capture_experiment(setup, FAST, seed=1)
+    assert outcome.backend_records > 0
+
+
 def test_runner_rejects_unknown_target():
     from repro.harness import run_targets
 

@@ -21,13 +21,15 @@ from repro.simkernel import Environment
 
 
 def make_cluster_world(n_clients=2, shards=4, loss=0.0, seed=7,
-                       retry_interval_s=0.3, max_retries=5, client_ids=None):
+                       retry_interval_s=0.3, max_retries=5, client_ids=None,
+                       **cluster_kwargs):
     env = Environment()
     net = Network(env, seed=seed)
     net.add_host("cloud")
     cluster = BrokerCluster(
         net.hosts["cloud"], shards=shards,
         retry_interval_s=retry_interval_s, max_retries=max_retries,
+        **cluster_kwargs,
     )
     if client_ids is None:
         client_ids = [f"c{i}" for i in range(n_clients)]
@@ -463,6 +465,288 @@ def test_relayed_delivery_survives_session_replacement_in_flight():
     env.run()
     assert got == [b"kept"]  # delivered with the session live at match time
     assert cluster.delivery_failures.count == 0
+
+
+# ------------------------------------------------- p2c session placement
+
+
+def skewed_ids(count, shard=0, shards=4, prefix="skew"):
+    """Client ids that all hash onto ``shard`` on the shard ring (the
+    adversarial workload for pure hash placement)."""
+    from repro.hashring import ConsistentHashRing
+
+    ring = ConsistentHashRing(shards, salt="shard")
+    out, i = [], 0
+    while len(out) < count:
+        candidate = f"{prefix}{i}"
+        if ring.node_for(candidate) == shard:
+            out.append(candidate)
+        i += 1
+    return out
+
+
+def test_p2c_balances_a_hash_clumped_connect_burst():
+    """16 client ids that pure hashing would all home on shard 0 spread
+    across the cluster under p2c placement, within the acceptance bound
+    on max/mean session ratio."""
+    ids = skewed_ids(16)
+    env, net, cluster, clients = make_cluster_world(
+        shards=4, client_ids=ids, placement="p2c",
+    )
+
+    def scenario(env):
+        for client in clients:
+            yield from client.connect()
+            yield env.timeout(0.05)
+
+    env.process(scenario(env))
+    env.run()
+    assert len(cluster.sessions) == 16
+    assert cluster.p2c_placements.count == 16
+    stats = cluster.stats()
+    assert stats["placement"] == "p2c"
+    assert stats["max_mean_session_ratio"] <= 1.75
+    occupied = [s for s in stats["shards"] if s["sessions"]]
+    assert len(occupied) >= 3  # hash placement would use exactly one
+
+
+def test_p2c_placement_is_sticky_across_reconnects():
+    ids = skewed_ids(6)
+    env, net, cluster, clients = make_cluster_world(
+        shards=4, client_ids=ids, placement="p2c",
+    )
+    homes = {}
+
+    def scenario(env):
+        for client in clients:
+            yield from client.connect()
+            yield env.timeout(0.05)
+        for client in clients:
+            endpoint = (client.host.name, client.sock.port)
+            homes[client.client_id] = cluster.dispatcher.pins[endpoint]
+        # retransmitted / repeated CONNECTs must not migrate the session
+        for client in clients:
+            client.connected = False
+            yield from client.connect()
+
+    env.process(scenario(env))
+    env.run()
+    for client in clients:
+        endpoint = (client.host.name, client.sock.port)
+        assert cluster.dispatcher.pins[endpoint] == homes[client.client_id]
+    assert len(cluster.sessions) == 6
+
+
+def test_p2c_never_places_on_a_dead_shard_and_failover_unsticks():
+    """After a shard dies, no CONNECT — new or returning — may land on
+    it: the sticky placement table invalidates every entry pointing at
+    the corpse and p2c only samples live shards."""
+    ids = skewed_ids(8)
+    late_ids = skewed_ids(4, prefix="late")
+    env, net, cluster, clients = make_cluster_world(
+        shards=4, client_ids=ids + late_ids, placement="p2c",
+    )
+    early, late = clients[:8], clients[8:]
+    victim = {}
+
+    def scenario(env):
+        for client in early:
+            yield from client.connect()
+            # subscribers (they hold filters) are *migrated* on failover;
+            # bare publisher sessions would be dropped by design
+            yield from client.subscribe(
+                f"p2c/{client.client_id}", lambda t, p: None
+            )
+            yield env.timeout(0.05)
+        # kill the shard currently holding the most sessions
+        by_load = max(
+            range(4), key=lambda i: len(cluster.shards[i].sessions)
+        )
+        victim["index"] = by_load
+        cluster.kill_shard(by_load)
+        yield env.timeout(1.0)  # let failover migrate the survivors
+        for client in late:
+            yield from client.connect()
+            yield env.timeout(0.05)
+
+    env.process(scenario(env))
+    env.run()
+    dead = victim["index"]
+    assert not cluster.shards[dead].alive
+    assert len(cluster.shards[dead].sessions) == 0
+    # sticky entries never point at the corpse
+    assert all(home != dead for home in cluster._placement.values())
+    assert all(pin != dead for pin in cluster.dispatcher.pins.values())
+    assert len(cluster.sessions) == 12  # everyone is somewhere alive
+
+
+# --------------------------------------------- control-plane observability
+
+
+def test_cluster_stats_snapshot():
+    env, net, cluster, (a, b) = make_cluster_world(
+        shards=4, client_ids=["statA", "statB"],
+    )
+
+    def scenario(env):
+        yield from a.connect()
+        yield from a.subscribe("stats/t", lambda t, p: None)
+        yield from b.connect()
+
+    env.process(scenario(env))
+    env.run()
+    stats = cluster.stats()
+    assert stats["placement"] == "hash"
+    assert stats["sessions"] == 2
+    assert len(stats["shards"]) == 4
+    assert sum(s["sessions"] for s in stats["shards"]) == 2
+    for shard_stats in stats["shards"]:
+        assert shard_stats["alive"]
+        assert shard_stats["inbox_depth"] == 0
+    assert stats["max_mean_session_ratio"] >= 1.0
+    assert stats["failovers"] == 0
+    assert stats["rehomed"] == 0
+
+
+# ------------------------------------------- subscription handover (move)
+
+
+def test_move_subscription_flips_routing_in_one_instant():
+    """The pool's elastic handover primitive: discard on the old key and
+    re-add under the new key atomically, so the next PUBLISH routes to
+    the new subscriber and the old one never sees it."""
+    env, net, cluster, (pub, s1, s2) = make_cluster_world(
+        shards=4, client_ids=["mover", "oldsub", "newsub"],
+    )
+    got_old, got_new = [], []
+
+    def scenario(env):
+        yield from s1.connect()
+        yield from s1.subscribe("mv/t", lambda t, p: got_old.append(p), qos=1)
+        yield from s2.connect()
+        s2.bind_filter("mv/t", lambda t, p: got_new.append(p))
+        yield from pub.connect()
+        tid = yield from pub.register("mv/t")
+        yield env.timeout(0.5)
+        yield from pub.publish(tid, b"before", qos=1)
+        yield env.timeout(0.5)
+        cluster.move_subscription(
+            (s1.host.name, s1.sock.port), (s2.host.name, s2.sock.port),
+            "mv/t", qos=1,
+        )
+        yield from pub.publish(tid, b"after", qos=1)
+        yield env.timeout(0.5)
+
+    env.process(scenario(env))
+    env.run()
+    assert got_old == [b"before"]
+    assert got_new == [b"after"]
+    assert cluster.delivery_failures.count == 0
+
+
+def test_move_subscription_requires_the_old_holder():
+    env, net, cluster, (a, b) = make_cluster_world(
+        shards=4, client_ids=["holderless", "target"],
+    )
+    outcome = {}
+
+    def scenario(env):
+        yield from a.connect()
+        yield from b.connect()
+        try:
+            cluster.move_subscription(
+                (a.host.name, a.sock.port), (b.host.name, b.sock.port),
+                "never/subscribed",
+            )
+        except KeyError:
+            outcome["raised"] = True
+
+    env.process(scenario(env))
+    env.run()
+    assert outcome == {"raised": True}
+
+
+# -------------------------------------------------- shard-affinity rehoming
+
+
+def test_sustained_cross_shard_traffic_rehomes_the_subscriber():
+    """A subscriber whose deliveries keep originating on a remote shard
+    migrates onto that shard (with its session, filters and pin), after
+    which delivery is local — no relay hop, no loss, no duplicates."""
+    env, net, cluster, _ = make_cluster_world(n_clients=0, shards=4)
+    pub_id, sub_id = ids_on_distinct_shards(cluster, 2)
+    env, net, cluster, (pub, sub) = make_cluster_world(
+        shards=4, client_ids=[pub_id, sub_id], rehome_min_deliveries=16,
+    )
+    got = []
+    relayed_at_rehome = {}
+
+    def scenario(env):
+        yield from sub.connect()
+        yield from sub.subscribe("aff/t", lambda t, p: got.append(p), qos=1)
+        yield from pub.connect()
+        tid = yield from pub.register("aff/t")
+        yield env.timeout(0.5)
+        for i in range(32):
+            yield from pub.publish(tid, b"m%d" % i, qos=1)
+            yield env.timeout(0.02)
+            if cluster.rehomed.count and "relayed" not in relayed_at_rehome:
+                relayed_at_rehome["relayed"] = cluster.relayed.count
+
+    env.process(scenario(env))
+    env.run()
+    assert cluster.rehomed.count == 1
+    assert len(got) == 32  # zero loss, zero duplication across the move
+    sub_endpoint = (sub.host.name, sub.sock.port)
+    pub_home = cluster.shard_of(pub_id)
+    assert sub_endpoint in cluster.shards[pub_home].sessions
+    assert cluster.dispatcher.pins[sub_endpoint] == pub_home
+    # deliveries after the move are local: the relay counter stopped
+    assert cluster.relayed.count == relayed_at_rehome["relayed"]
+    assert cluster.delivery_failures.count == 0
+
+
+def test_rehome_subscriber_direct_call_and_edge_cases():
+    env, net, cluster, _ = make_cluster_world(n_clients=0, shards=4)
+    (sub_id,) = ids_on_distinct_shards(cluster, 1)
+    env, net, cluster, (sub,) = make_cluster_world(
+        shards=4, client_ids=[sub_id],
+    )
+    outcome = {}
+
+    def scenario(env):
+        yield from sub.connect()
+        yield from sub.subscribe("direct/t", lambda t, p: None, qos=1)
+        endpoint = (sub.host.name, sub.sock.port)
+        home = cluster.shard_of(sub_id)
+        target = (home + 1) % 4
+        outcome["moved"] = cluster.rehome_subscriber(endpoint, target)
+        outcome["same"] = cluster.rehome_subscriber(endpoint, target)
+        outcome["unknown"] = cluster.rehome_subscriber(("ghost", 9), target)
+        outcome["on_target"] = endpoint in cluster.shards[target].sessions
+        outcome["filters"] = cluster.subscriptions.subscriptions_of(endpoint)
+
+    env.process(scenario(env))
+    env.run()
+    assert outcome["moved"] is True
+    assert outcome["same"] is False  # already there
+    assert outcome["unknown"] is False
+    assert outcome["on_target"] is True
+    assert outcome["filters"] == [("direct/t", 1)]
+
+
+def test_rehome_subscriber_rejected_on_single_shard():
+    env, net, cluster, (solo,) = make_cluster_world(
+        shards=1, client_ids=["solo"],
+    )
+
+    def scenario(env):
+        yield from solo.connect()
+        with pytest.raises(ValueError):
+            cluster.rehome_subscriber((solo.host.name, solo.sock.port), 0)
+
+    env.process(scenario(env))
+    env.run()
 
 
 def test_unknown_peer_traffic_is_dropped_with_accounting():

@@ -200,6 +200,112 @@ def test_translator_pool_and_broker_cluster_share_the_ring_scheme(key):
     assert cluster.shard_of(key) == ConsistentHashRing(4, salt="shard").node_for(key)
 
 
+# -- weighted ring + p2c placement + autoscaler ------------------------------
+
+
+@given(
+    st.lists(st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0]),
+             min_size=2, max_size=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_weighted_ring_key_share_tracks_weights(weights):
+    """A node's share of keys grows with its weight: the heaviest-weight
+    node never ends up owning fewer keys than a node at a quarter of its
+    weight would predict, and every node gets the deterministic point
+    count ``max(1, round(replicas * weight))``."""
+    from repro.hashring import ConsistentHashRing
+
+    ring = ConsistentHashRing(len(weights), salt="shard", weights=weights)
+    for node, weight in enumerate(weights):
+        assert ring.weight_of(node) == weight
+    counts = {node: 0 for node in range(len(weights))}
+    for key in ring_keys:
+        counts[ring.node_for(key)] += 1
+    expected_points = [max(1, round(ring.replicas * w)) for w in weights]
+    point_counts = {node: 0 for node in range(len(weights))}
+    for node in ring._nodes:
+        point_counts[node] += 1
+    assert [point_counts[n] for n in range(len(weights))] == expected_points
+    # distribution check, deliberately loose (crc32 arcs wobble): a node
+    # with 16x the weight of another must own at least as many keys
+    for heavy in range(len(weights)):
+        for light in range(len(weights)):
+            if weights[heavy] >= 16 * weights[light]:
+                assert counts[heavy] >= counts[light]
+
+
+@given(st.integers(min_value=2, max_value=8))
+@settings(max_examples=20, deadline=None)
+def test_weight_one_ring_reproduces_unweighted_ownership(k):
+    from repro.hashring import ConsistentHashRing
+
+    plain = ConsistentHashRing(k, salt="shard")
+    weighted = ConsistentHashRing(k, salt="shard", weights=[1.0] * k)
+    for key in ring_keys:
+        assert plain.node_for(key) == weighted.node_for(key)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=8,
+             unique=True),
+    st.lists(st.integers(min_value=0, max_value=200), min_size=16, max_size=16),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_p2c_always_picks_a_live_candidate_preferring_lower_load(
+    candidates, loads, seed
+):
+    """``pick_two_choices`` returns a member of ``candidates`` (never a
+    dead shard: the cluster only passes live indices) and never prefers
+    the strictly more-loaded of its two samples."""
+    import random
+
+    from repro.mqttsn.cluster import pick_two_choices
+
+    rng = random.Random(seed)
+    sampled = {}
+
+    def load(i):
+        sampled[i] = loads[i]
+        return loads[i]
+
+    chosen = pick_two_choices(candidates, load, rng)
+    assert chosen in candidates
+    if sampled:  # two distinct candidates were compared
+        assert loads[chosen] == min(sampled.values())
+
+
+@given(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=4, max_value=12),
+)
+@settings(max_examples=100, deadline=None)
+def test_autoscaler_never_flaps_under_constant_load(queued, workers, ticks):
+    """Under a constant offered load the autoscaler moves in one
+    direction only and settles: after each resize the pool's per-worker
+    load halves (grow) or at most doubles (shrink), so the hysteresis
+    band (low <= high/2) guarantees the next decision is never the
+    opposite one."""
+    from repro.core.server import PoolAutoscaler
+
+    scaler = PoolAutoscaler(1, 8, high_water=8.0, low_water=2.0, sustain=3)
+    deltas = []
+    for _ in range(ticks):
+        delta = scaler.observe(queued, workers)
+        deltas.append(delta)
+        workers = max(1, min(8, workers + delta))
+    nonzero = [d for d in deltas if d]
+    assert len(set(nonzero)) <= 1  # never both grow and shrink
+    # and it settles: once the per-worker load is in band, no more moves
+    per_worker = queued / workers
+    if 2.0 <= per_worker <= 8.0:
+        tail = []
+        for _ in range(8):
+            tail.append(scaler.observe(queued, workers))
+        assert tail == [0] * 8
+
+
 # -- grouping: no record lost or duplicated for any group size ----------------
 
 
