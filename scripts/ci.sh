@@ -37,6 +37,13 @@ python examples/flaky_uplink.py
 echo "chaos smoke: examples/chaos_fanin.py"
 python examples/chaos_fanin.py
 
+# continuum smoke: the continuum chaos example churns 25% of a tiered
+# constrained-edge fleet and cuts the edge<->fog backhaul mid-run,
+# asserting journal-replay recovery ends exactly-once — the continuum
+# topology contract, run loudly
+echo "continuum smoke: examples/continuum_chaos.py"
+python examples/continuum_chaos.py
+
 # elasticity smoke: the elastic fan-in example asserts the scaling
 # contract — p2c spreads a hash-adversarial CONNECT burst, the
 # translator pool grows under load and shrinks back to min, and every

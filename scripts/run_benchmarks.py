@@ -53,6 +53,7 @@ BENCH_FILES = [
     REPO_ROOT / "benchmarks" / "test_broker_shard_scale.py",
     REPO_ROOT / "benchmarks" / "test_broker_skewed_scale.py",
     REPO_ROOT / "benchmarks" / "test_shard_failover.py",
+    REPO_ROOT / "benchmarks" / "test_continuum_topologies.py",
 ]
 OUTPUT_FILE = REPO_ROOT / "BENCH_microbench_codecs.json"
 BASELINE_FILE = REPO_ROOT / "benchmarks" / "baseline_microbench_codecs.json"
@@ -239,6 +240,35 @@ def headline(benchmarks: dict, sizes: dict) -> dict:
             out["degraded_throughput_3_of_4_shards"] = round(
                 degraded / healthy, 2
             )
+    # continuum topologies: what the paper's tiered, lossy continuum
+    # costs versus the seed's ideal-star assumption (simulated time, so
+    # machine-independent), and how fast a 20%-churned durable fleet is
+    # whole again (restart + journal replay)
+    def topology_throughput(preset: str):
+        entry = benchmarks.get(f"test_topology_fanin_throughput[{preset}]")
+        if not entry:
+            return None
+        return entry.get("extra_info", {}).get("simulated_msgs_per_s")
+
+    ideal = topology_throughput("ideal")
+    if ideal:
+        for preset in ("constrained-edge", "lossy-wireless", "wan-fog"):
+            tp = topology_throughput(preset)
+            if tp:
+                key = preset.replace("-", "_")
+                out[f"continuum_throughput_ratio_{key}_over_ideal"] = round(
+                    tp / ideal, 4
+                )
+        lossy = topology_throughput("lossy-wireless")
+        if lossy:
+            out["continuum_throughput_ratio_lossy_edge_over_ideal"] = round(
+                lossy / ideal, 4
+            )
+    entry = benchmarks.get("test_fleet_churn_recovery")
+    if entry:
+        recovery = entry.get("extra_info", {}).get("fleet_churn_recovery_ms_20pct")
+        if recovery:
+            out["fleet_churn_recovery_ms_20pct"] = recovery
     # durable capture: what the WAL write-through adds on top of encoding
     # one 100-attr record (the per-record client cost of durable=True)
     wal = median("test_journal_append_100_attrs")

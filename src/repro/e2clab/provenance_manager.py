@@ -41,7 +41,13 @@ from ..core import (
 )
 from ..device import Device, XEON_GOLD_5220
 from ..dfanalyzer import DfAnalyzerService
-from ..net import ChaosProfile, Network, ServerFaultInjector
+from ..net import (
+    ChaosProfile,
+    ContinuumTopology,
+    Network,
+    ServerFaultInjector,
+    TopologySpec,
+)
 from ..simkernel import Environment
 
 __all__ = ["ProvenanceManager"]
@@ -92,8 +98,10 @@ class ProvenanceManager:
         pool_max: Optional[int] = None,
         transport: Optional[str] = None,
         chaos: Optional[str] = None,
+        topology: Optional[str] = None,
     ):
         chaos_profile = ChaosProfile.parse(chaos) if chaos else None
+        topology_spec = TopologySpec.parse(topology) if topology else None
         if chaos_profile is not None:
             # validate before any side effect (host provisioning, port
             # binds), so a bad config leaves the network untouched
@@ -110,6 +118,19 @@ class ProvenanceManager:
                 raise ValueError(
                     "kill-shard chaos needs broker_shards >= 2 (a surviving "
                     "shard must take over the killed shard's sessions)"
+                )
+            if chaos_profile.requires_fleet():
+                raise ValueError(
+                    "the manager does not own the device lifecycle, so "
+                    "crash-device/churn events cannot be injected here; "
+                    "drive them through the harness "
+                    "(run_capture_experiment) or a FleetFaultInjector "
+                    "built over the deployed clients"
+                )
+            if chaos_profile.requires_topology() and topology_spec is None:
+                raise ValueError(
+                    "partition-tier/degrade-tier chaos events need "
+                    "topology= (a TopologySpec string or preset name)"
                 )
         self.network = network
         self.env: Environment = network.env
@@ -142,10 +163,18 @@ class ProvenanceManager:
         #: lazily deployed non-MQTT-SN sinks: transport -> (server, endpoint)
         self._sinks: Dict[str, tuple] = {}
         self.clients: Dict[str, CaptureClient] = {}
+        #: the tiered continuum rooted at the manager host, when the
+        #: deployment asked for one (``topology=``); device hosts are
+        #: created bare — attach devices with :meth:`place_device`
+        self.topology: Optional[ContinuumTopology] = None
+        if topology_spec is not None:
+            self.topology = ContinuumTopology(
+                network, topology_spec, root_host=self.host.name
+            )
         #: server-plane fault injector (always available for manual chaos)
         self.fault_injector = ServerFaultInjector(self.server, network=network)
         if chaos_profile is not None:
-            chaos_profile.apply(self.fault_injector)
+            chaos_profile.apply(self.fault_injector, topology=self.topology)
 
     @property
     def host_name(self) -> str:
@@ -157,6 +186,31 @@ class ProvenanceManager:
             transport=normalize_transport(transport) if transport else self.transport,
             group_size=self.group_size,
             compress=self.compress,
+        )
+
+    def place_device(self, device: Device, tier: Optional[str] = None) -> str:
+        """Attach ``device`` to the next free host of the topology's
+        leaf tier (or of ``tier``); returns the host name.
+
+        The manager's ``topology=`` builds the tiered network with bare
+        forwarding hosts; experiment drivers place their devices here
+        and then :meth:`deploy_client` them as usual.
+        """
+        if self.topology is None:
+            raise ValueError(
+                "place_device needs a topology= deployment (the star "
+                "layout attaches devices through network.add_host)"
+            )
+        tier = tier or self.topology.spec.leaf.name
+        for host_name in self.topology.hosts_in(tier):
+            host = self.network.hosts[host_name]
+            if host.device is None:
+                host.device = device
+                device.host = host
+                return host_name
+        raise ValueError(
+            f"no free host left in tier {tier!r} "
+            f"({len(self.topology.hosts_in(tier))} hosts, all occupied)"
         )
 
     def deploy_client(self, device: Device, topic: Optional[str] = None,

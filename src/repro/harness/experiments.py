@@ -9,7 +9,9 @@ count, and returns the measures every table/figure is built from.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+import shutil
+import tempfile
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -31,7 +33,16 @@ from ..device import A8M3, XEON_GOLD_5220, Device, DeviceSpec
 from ..dfanalyzer import DfAnalyzerService
 from ..http import HttpResponse, HttpServer
 from ..metrics import RunMetrics, mean_ci, relative_overhead, snapshot_device
-from ..net import ChaosProfile, Network, ServerFaultInjector, parse_delay, parse_rate
+from ..net import (
+    ChaosProfile,
+    ContinuumTopology,
+    FleetFaultInjector,
+    Network,
+    ServerFaultInjector,
+    TopologySpec,
+    parse_delay,
+    parse_rate,
+)
 from ..simkernel import Environment
 from ..workloads import SyntheticWorkloadConfig, synthetic_workload
 
@@ -125,6 +136,21 @@ def _default_chaos() -> Optional[str]:
     return value
 
 
+def _default_topology() -> Optional[str]:
+    """Continuum topology spec; ``REPRO_TOPOLOGY`` retargets every run.
+
+    Accepts a preset name (``ideal``, ``constrained-edge``,
+    ``lossy-wireless``, ``wan-fog``) or a full
+    :class:`~repro.net.TopologySpec` string, validated eagerly so a
+    typo fails at the first ``ExperimentSetup()``.
+    """
+    value = os.environ.get("REPRO_TOPOLOGY")
+    if not value:
+        return None
+    TopologySpec.parse(value)  # validate eagerly; keep the spec string
+    return value
+
+
 @dataclass(frozen=True)
 class ExperimentSetup:
     """Everything that defines one experimental condition."""
@@ -156,15 +182,28 @@ class ExperimentSetup:
     #: ``translator_workers``; ``REPRO_POOL_MIN``/``REPRO_POOL_MAX`` override)
     pool_min: Optional[int] = field(default_factory=_default_pool_min)
     pool_max: Optional[int] = field(default_factory=_default_pool_max)
-    #: server-plane chaos schedule (:class:`~repro.net.ChaosProfile` spec
-    #: string, e.g. ``"kill-shard@2.0"``; ``REPRO_CHAOS`` sets a default)
+    #: chaos schedule (:class:`~repro.net.ChaosProfile` spec string, e.g.
+    #: ``"kill-shard@2.0"`` or ``"churn@5:0.2:2"``; ``REPRO_CHAOS`` sets
+    #: a default)
     chaos: Optional[str] = field(default_factory=_default_chaos)
+    #: continuum topology (:class:`~repro.net.TopologySpec` spec string or
+    #: preset name, e.g. ``"lossy-wireless"``; ``None`` = the ideal star;
+    #: ``REPRO_TOPOLOGY`` sets a default).  When set, the spec's link
+    #: profiles replace ``bandwidth``/``delay`` and its leaf tier is
+    #: resized to ``n_devices``.
+    topology: Optional[str] = field(default_factory=_default_topology)
 
     def chaos_profile(self) -> Optional["ChaosProfile"]:
         """The parsed chaos schedule, or ``None`` when chaos is off."""
         if not self.chaos:
             return None
         return ChaosProfile.parse(self.chaos)
+
+    def topology_spec(self) -> Optional["TopologySpec"]:
+        """The parsed continuum topology, or ``None`` for the star."""
+        if not self.topology:
+            return None
+        return TopologySpec.parse(self.topology)
 
     def effective_translator_workers(self) -> int:
         """Starting pool size: ``translator_workers`` clamped into the
@@ -204,6 +243,8 @@ class ExperimentSetup:
             parts.append(f"pool={self.pool_min or '-'}..{self.pool_max or '-'}")
         if self.chaos:
             parts.append(f"chaos={self.chaos}")
+        if self.topology:
+            parts.append(f"topology={self.topology}")
         if self.device_spec is not A8M3:
             parts.append(self.device_spec.name)
         return " ".join(parts)
@@ -216,6 +257,12 @@ class RunOutcome:
     elapsed: List[float]
     metrics: List[RunMetrics]
     backend_records: int
+    #: device-churn snapshot (devices crashed/restarted, journal
+    #: recoveries, ``records_completed`` ledger) when the run drove a
+    #: :class:`~repro.net.FleetFaultInjector`; ``None`` otherwise
+    fleet_stats: Optional[Dict[str, Any]] = None
+    #: tier-fault snapshot when the run used a continuum topology
+    topology_stats: Optional[Dict[str, Any]] = None
 
     @property
     def mean_elapsed(self) -> float:
@@ -259,6 +306,7 @@ def run_capture_experiment(
     if setup.system not in SYSTEMS:
         raise ValueError(f"unknown system {setup.system!r}; known: {SYSTEMS}")
     chaos_profile = setup.chaos_profile()
+    topo_spec = setup.topology_spec()
     if chaos_profile is not None:
         if setup.system != "provlight" or normalize_transport(
             (capture_config or setup.capture_config()).transport
@@ -282,24 +330,64 @@ def run_capture_experiment(
                 "kill-shard chaos needs broker_shards >= 2 (a surviving "
                 "shard must take over the killed shard's sessions)"
             )
+        if chaos_profile.requires_topology() and topo_spec is None:
+            raise ValueError(
+                "partition-tier/degrade-tier chaos events need a continuum "
+                "topology (set ExperimentSetup.topology / --topology / "
+                "REPRO_TOPOLOGY)"
+            )
+        if chaos_profile.requires_fleet():
+            cap = capture_config or setup.capture_config()
+            if cap.group_size:
+                raise ValueError(
+                    "crash-device/churn chaos needs group_size=0: a "
+                    "partially filled group buffer lives only in memory, "
+                    "so a crash would lose records the run already "
+                    "counted — zero-loss accounting cannot hold"
+                )
+            if cap.qos < 1:
+                raise ValueError(
+                    "crash-device/churn chaos needs qos >= 1 (QoS 0 has "
+                    "no delivery contract, so a crashed uplink silently "
+                    "drops records and zero-loss accounting cannot hold)"
+                )
     env = Environment()
     net = Network(env, seed=seed)
-    bandwidth = parse_rate(setup.bandwidth)
-    delay = parse_delay(setup.delay)
 
     cloud_device = Device(env, XEON_GOLD_5220, name="cloud-device")
     net.add_host("cloud", device=cloud_device)
 
     devices: List[Device] = []
-    for i in range(setup.n_devices):
-        device = Device(env, setup.device_spec, name=f"edge-{i}")
-        net.add_host(f"edge-{i}", device=device)
-        net.connect(f"edge-{i}", "cloud", bandwidth_bps=bandwidth, latency_s=delay)
-        devices.append(device)
+    topology: Optional[ContinuumTopology] = None
+    if topo_spec is not None:
+        # the spec's link profiles define the network; the star's
+        # bandwidth/delay fields do not apply
+        def _make_device(tier: str, index: int):
+            if tier != topo_spec.leaf.name:
+                return None  # fog/intermediate hosts only forward
+            device = Device(env, setup.device_spec, name=f"{tier}-{index}")
+            devices.append(device)
+            return device
+
+        topology = ContinuumTopology(
+            net, topo_spec.scaled(setup.n_devices), root_host="cloud",
+            device_factory=_make_device,
+        )
+    else:
+        bandwidth = parse_rate(setup.bandwidth)
+        delay = parse_delay(setup.delay)
+        for i in range(setup.n_devices):
+            device = Device(env, setup.device_spec, name=f"edge-{i}")
+            net.add_host(f"edge-{i}", device=device)
+            net.connect(f"edge-{i}", "cloud", bandwidth_bps=bandwidth,
+                        latency_s=delay)
+            devices.append(device)
 
     backend_service = DfAnalyzerService()
     clients: List[Any] = []
     server: Optional[ProvLightServer] = None
+    fleet: Optional[FleetFaultInjector] = None
+    journal_tmp: Optional[str] = None
     if setup.system == "provlight":
         cap_config = capture_config or setup.capture_config()
         transport = normalize_transport(cap_config.transport)
@@ -313,18 +401,36 @@ def run_capture_experiment(
                 pool_max=setup.pool_max,
             )
             endpoint = server.endpoint
-            if chaos_profile is not None:
-                chaos_profile.apply(ServerFaultInjector(server))
         else:
             _, endpoint = deploy_capture_sink(
                 transport, net.hosts["cloud"], backend_service.ingest,
                 http_workers=max(8, setup.n_devices),
             )
-        for i, device in enumerate(devices):
-            clients.append(
-                create_client(
-                    device, endpoint, f"provlight/edge-{i}/data", cap_config
+        if chaos_profile is not None and chaos_profile.requires_fleet():
+            # device churn only makes sense for clients that survive a
+            # crash, so the run is auto-provisioned durable with
+            # run-scoped journals (cleaned up after the run) unless the
+            # caller already supplied a durable config
+            fleet = FleetFaultInjector(env, topology=topology, seed=seed)
+            if not cap_config.durable:
+                journal_tmp = tempfile.mkdtemp(prefix="repro-fleet-journals-")
+                cap_config = replace(
+                    cap_config, durable=True, journal_dir=journal_tmp
                 )
+        for device in devices:
+            topic = f"provlight/{device.name}/data"
+            client = create_client(device, endpoint, topic, cap_config)
+            if fleet is not None:
+                def _restart(device=device, topic=topic):
+                    return create_client(device, endpoint, topic, cap_config)
+
+                fleet.register(device.name, client, _restart)
+                clients.append(fleet.proxy(device.name))
+            else:
+                clients.append(client)
+        if chaos_profile is not None:
+            chaos_profile.apply(
+                ServerFaultInjector(server), fleet=fleet, topology=topology
             )
     else:
         def handler(request):
@@ -350,7 +456,7 @@ def run_capture_experiment(
 
     def run_device(env, idx, client, device):
         if server is not None and setup.with_translators:
-            yield from server.add_translator(f"provlight/edge-{idx}/data")
+            yield from server.add_translator(f"provlight/{device.name}/data")
         device.reset_accounting()
         result: Dict[str, Any] = {}
         results.append(result)
@@ -364,10 +470,25 @@ def run_capture_experiment(
         env.process(run_device(env, i, client, device))
     env.run()
 
+    fleet_stats: Optional[Dict[str, Any]] = None
+    if fleet is not None:
+        fleet_stats = fleet.stats()
+        # the zero-loss ledger: proxy calls that ran to completion (see
+        # repro.net.fleet.FleetClientProxy)
+        fleet_stats["records_completed"] = sum(
+            proxy.records_completed for proxy in clients
+        )
+        for name in fleet.devices:
+            fleet.client_of(name).close()
+    if journal_tmp is not None:
+        shutil.rmtree(journal_tmp, ignore_errors=True)
+
     return RunOutcome(
         elapsed=[r["elapsed"] for r in results],
         metrics=snapshots,
         backend_records=int(backend_service.records_ingested.count),
+        fleet_stats=fleet_stats,
+        topology_stats=topology.stats() if topology is not None else None,
     )
 
 

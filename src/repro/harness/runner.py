@@ -96,10 +96,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="upper bound of the elastic translator pool "
                         "(default: static pool, no autoscaling)")
     parser.add_argument("--chaos", metavar="SPEC", default=None,
-                        help="server-plane chaos schedule applied to every "
-                        "ProvLight run, e.g. 'kill-shard@2.0' or "
-                        "'crash-worker@1.0,kill-shard:1@2.0' (see "
+                        help="chaos schedule applied to every ProvLight "
+                        "run, e.g. 'kill-shard@2.0', 'churn@5:0.2:2' or "
+                        "'partition-tier:edge-fog@8:3' (see "
                         "repro.net.ChaosProfile for the grammar)")
+    parser.add_argument("--topology", metavar="SPEC", default=None,
+                        help="continuum topology for every run: a preset "
+                        "name (ideal, constrained-edge, lossy-wireless, "
+                        "wan-fog) or a spec like "
+                        "'edge:64:lossy-wireless,fog:4:wan-fog,cloud:1' "
+                        "(leaf tier first; its count is resized to each "
+                        "experiment's device count — see "
+                        "repro.net.TopologySpec)")
     parser.add_argument("--write-experiments", metavar="PATH", default=None,
                         help="append rendered results to this markdown file")
     args = parser.parse_args(argv)
@@ -120,6 +128,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             ChaosProfile.parse(args.chaos)
         except ValueError as exc:
             parser.error(f"--chaos: {exc}")
+    if args.topology is not None:
+        from ..net import TopologySpec
+
+        try:
+            TopologySpec.parse(args.topology)
+        except ValueError as exc:
+            parser.error(f"--topology: {exc}")
     # the tables build their ExperimentSetup grids internally; the
     # environment hooks retarget them all (see experiments.py).  Restore
     # them afterwards so an in-process caller (tests, notebooks) does not
@@ -130,6 +145,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "REPRO_POOL_MIN": args.pool_min,
         "REPRO_POOL_MAX": args.pool_max,
         "REPRO_CHAOS": args.chaos,
+        "REPRO_TOPOLOGY": args.topology,
     }
     previous = {name: os.environ.get(name) for name in overrides}
     try:

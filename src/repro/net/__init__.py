@@ -4,11 +4,26 @@ Byte-accurate packets over store-and-forward links with configurable
 bandwidth/latency/jitter/loss; hosts dispatch to UDP and TCP sockets.
 Protocol layers (:mod:`repro.mqttsn`, :mod:`repro.http`) build on these
 sockets exactly like their real counterparts build on the OS.
+
+:mod:`repro.net.continuum` assembles hosts and links into tiered
+edge/fog/cloud topologies from a spec string, and the fault-injection
+stack (:mod:`~repro.net.faults`, :mod:`~repro.net.chaos`,
+:mod:`~repro.net.fleet`) drives reproducible link-, server- and
+device-plane chaos over them.
 """
 
 from .chaos import ChaosEvent, ChaosProfile, ServerFaultInjector
+from .continuum import (
+    LINK_PROFILES,
+    TOPOLOGY_PRESETS,
+    ContinuumTopology,
+    LinkProfile,
+    TierSpec,
+    TopologySpec,
+)
 from .dispatcher import UdpShardDispatcher, VirtualSocket
 from .faults import LinkFaultInjector
+from .fleet import FleetClientProxy, FleetFaultInjector
 from .host import Host, PortInUse
 from .link import Link
 from .netem import NetworkConstraint, apply_constraints, parse_delay, parse_rate
@@ -23,8 +38,16 @@ __all__ = [
     "Link",
     "LinkFaultInjector",
     "ServerFaultInjector",
+    "FleetFaultInjector",
+    "FleetClientProxy",
     "ChaosProfile",
     "ChaosEvent",
+    "ContinuumTopology",
+    "TopologySpec",
+    "TierSpec",
+    "LinkProfile",
+    "LINK_PROFILES",
+    "TOPOLOGY_PRESETS",
     "Network",
     "UnroutableError",
     "NetworkConstraint",

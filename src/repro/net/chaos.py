@@ -12,11 +12,18 @@ Table IX-style run can execute under churn and assert zero loss.
 :class:`ChaosProfile` is the reproducible-from-the-CLI face of the same
 machinery: a compact spec string (``"kill-shard@2.0,flap-backend@1:0.5:3"``)
 parsed into scheduled fault events, threaded through
-``ExperimentSetup.chaos`` / ``--chaos`` / ``REPRO_CHAOS``.
+``ExperimentSetup.chaos`` / ``--chaos`` / ``REPRO_CHAOS``.  Beyond the
+server plane it also schedules *client-plane* chaos — device
+crash/restart churn on a :class:`~repro.net.fleet.FleetFaultInjector`
+and whole-tier partitions/degradations on a
+:class:`~repro.net.continuum.ContinuumTopology` — so a continuum run
+(``--topology`` x ``--chaos``) replays identically from its two spec
+strings.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -154,22 +161,44 @@ class ChaosEvent:
     kind: str
     index: Optional[int]
     args: Tuple[float, ...]
+    #: non-numeric selector: device name (``crash-device:edge-3``) or
+    #: tier pair (``partition-tier:edge-fog``)
+    qualifier: Optional[str] = None
+
+
+#: tier-pair qualifiers split on the dash; tier names are dash-free by
+#: TopologySpec's grammar, so ``edge-fog`` parses unambiguously
+_TIER_PAIR_RE = re.compile(r"[a-z][a-z0-9_]*-[a-z][a-z0-9_]*")
 
 
 class ChaosProfile:
-    """A reproducible schedule of server-plane faults.
+    """A reproducible schedule of server-, link- and device-plane faults.
 
     Spec grammar (comma-separated events, all times in simulated
     seconds)::
 
-        kill-shard@AFTER            kill the busiest shard at AFTER
-        kill-shard:2@AFTER          kill shard 2 at AFTER
-        crash-worker@AFTER          crash the busiest worker at AFTER
-        crash-worker:0@AFTER        crash worker position 0 at AFTER
-        backend-outage@AFTER:DUR    partition the backend link once
-        flap-backend@PERIOD:DOWN:N  N periodic backend outages
+        kill-shard@AFTER              kill the busiest shard at AFTER
+        kill-shard:2@AFTER            kill shard 2 at AFTER
+        crash-worker@AFTER            crash the busiest worker at AFTER
+        crash-worker:0@AFTER          crash worker position 0 at AFTER
+        backend-outage@AFTER:DUR      partition the backend link once
+        flap-backend@PERIOD:DOWN:N    N periodic backend outages
+        crash-device@AFTER:DOWN       crash a deterministic device, restart
+                                      DOWN seconds later (journal replay)
+        crash-device:edge-3@AFTER:DOWN  same, naming the victim
+        churn@AFTER:FRACTION:DOWN     crash FRACTION of the fleet at once
+        partition-tier:edge-fog@AFTER:DUR   cut every edge<->fog link
+        degrade-tier:edge-fog@AFTER:DUR:LOSS  loss storm on a tier pair
 
-    e.g. ``"kill-shard@2.0,flap-backend@1.0:0.25:3"``.
+    e.g. ``"churn@5:0.2:2,partition-tier:edge-fog@8:3"``.  Device and
+    tier events target the *client plane*: :meth:`apply` schedules them
+    on a :class:`~repro.net.fleet.FleetFaultInjector` and a
+    :class:`~repro.net.continuum.ContinuumTopology` respectively.
+
+    Every malformed or semantically impossible event — unknown kind,
+    negative times, zero durations, a churn fraction outside (0, 1], a
+    flap whose DOWN exceeds its PERIOD — fails at :meth:`parse` time,
+    before anything is provisioned.
     """
 
     _ARITY = {
@@ -177,8 +206,18 @@ class ChaosProfile:
         "crash-worker": 1,
         "backend-outage": 2,
         "flap-backend": 3,
+        "crash-device": 2,
+        "churn": 3,
+        "partition-tier": 2,
+        "degrade-tier": 3,
     }
     _INDEXABLE = {"kill-shard", "crash-worker"}
+    #: kinds whose ``kind:qualifier`` selector is a name, not an index
+    _NAMED = {"crash-device"}
+    #: kinds that require a ``tier-tier`` qualifier
+    _TIER = {"partition-tier", "degrade-tier"}
+    _SERVER = {"kill-shard", "crash-worker", "backend-outage", "flap-backend"}
+    _FLEET = {"crash-device", "churn"}
 
     def __init__(self, events: List[ChaosEvent]):
         self.events: Tuple[ChaosEvent, ...] = tuple(events)
@@ -195,22 +234,42 @@ class ChaosProfile:
                 raise ValueError(
                     f"malformed chaos event {token!r}: expected kind@args"
                 )
-            kind, _, index_part = head.partition(":")
+            kind, _, selector = head.partition(":")
             if kind not in cls._ARITY:
                 raise ValueError(
                     f"unknown chaos event kind {kind!r}; known: "
                     f"{sorted(cls._ARITY)}"
                 )
             index: Optional[int] = None
-            if index_part:
-                if kind not in cls._INDEXABLE:
-                    raise ValueError(f"{kind!r} does not take an index")
-                try:
-                    index = int(index_part)
-                except ValueError:
+            qualifier: Optional[str] = None
+            if selector:
+                if kind in cls._INDEXABLE:
+                    try:
+                        index = int(selector)
+                    except ValueError:
+                        raise ValueError(
+                            f"bad index {selector!r} in chaos event {token!r}"
+                        ) from None
+                    if index < 0:
+                        raise ValueError(
+                            f"index must be >= 0 in chaos event {token!r}"
+                        )
+                elif kind in cls._NAMED or kind in cls._TIER:
+                    qualifier = selector
+                else:
+                    raise ValueError(f"{kind!r} does not take a selector")
+            if kind in cls._TIER:
+                if qualifier is None:
                     raise ValueError(
-                        f"bad index {index_part!r} in chaos event {token!r}"
-                    ) from None
+                        f"{kind!r} needs a tier-pair selector, e.g. "
+                        f"'{kind}:edge-fog@...' (got {token!r})"
+                    )
+                if not _TIER_PAIR_RE.fullmatch(qualifier):
+                    raise ValueError(
+                        f"bad tier pair {qualifier!r} in chaos event "
+                        f"{token!r}: expected two dash-joined tier names "
+                        "(lowercase [a-z][a-z0-9_]*)"
+                    )
             try:
                 args = tuple(float(a) for a in tail.split(":"))
             except ValueError:
@@ -222,19 +281,108 @@ class ChaosProfile:
                     f"{kind!r} takes {cls._ARITY[kind]} argument(s), "
                     f"got {len(args)} in {token!r}"
                 )
-            events.append(ChaosEvent(kind=kind, index=index, args=args))
+            cls._validate_args(kind, args, token)
+            events.append(
+                ChaosEvent(kind=kind, index=index, args=args,
+                           qualifier=qualifier)
+            )
         if not events:
             raise ValueError(f"empty chaos spec {spec!r}")
         return cls(events)
 
+    @staticmethod
+    def _validate_args(kind: str, args: Tuple[float, ...], token: str) -> None:
+        """Per-kind semantic validation; every rejection names the token."""
+        def require(condition: bool, what: str) -> None:
+            if not condition:
+                raise ValueError(f"chaos event {token!r}: {what}")
+
+        if kind in ("kill-shard", "crash-worker"):
+            require(args[0] >= 0, f"AFTER must be >= 0, got {args[0]}")
+        elif kind == "backend-outage":
+            require(args[0] >= 0, f"AFTER must be >= 0, got {args[0]}")
+            require(args[1] > 0, f"DUR must be > 0, got {args[1]}")
+        elif kind == "flap-backend":
+            period, down, cycles = args
+            require(down > 0, f"DOWN must be > 0, got {down}")
+            require(period > down,
+                    f"PERIOD must exceed DOWN, got {period} <= {down}")
+            require(cycles >= 1 and cycles == int(cycles),
+                    f"N must be a positive integer, got {cycles}")
+        elif kind == "crash-device":
+            require(args[0] >= 0, f"AFTER must be >= 0, got {args[0]}")
+            require(args[1] > 0, f"DOWN must be > 0, got {args[1]}")
+        elif kind == "churn":
+            after, fraction, down = args
+            require(after >= 0, f"AFTER must be >= 0, got {after}")
+            require(0.0 < fraction <= 1.0,
+                    f"FRACTION must be in (0, 1], got {fraction}")
+            require(down > 0, f"DOWN must be > 0, got {down}")
+        elif kind == "partition-tier":
+            require(args[0] >= 0, f"AFTER must be >= 0, got {args[0]}")
+            require(args[1] > 0, f"DUR must be > 0, got {args[1]}")
+        elif kind == "degrade-tier":
+            after, dur, loss = args
+            require(after >= 0, f"AFTER must be >= 0, got {after}")
+            require(dur > 0, f"DUR must be > 0, got {dur}")
+            require(0.0 < loss < 1.0,
+                    f"LOSS must be in (0, 1), got {loss}")
+
+    # -- classification ----------------------------------------------------
     def requires_backend_link(self) -> bool:
         """True when the profile includes backend-link faults."""
         return any(
             e.kind in ("backend-outage", "flap-backend") for e in self.events
         )
 
-    def apply(self, injector: ServerFaultInjector) -> list:
-        """Schedule every event on ``injector``; returns the processes."""
+    def server_events(self) -> List[ChaosEvent]:
+        """Events targeting the server plane (shards/workers/backend)."""
+        return [e for e in self.events if e.kind in self._SERVER]
+
+    def fleet_events(self) -> List[ChaosEvent]:
+        """Events targeting the device plane (crash-device, churn)."""
+        return [e for e in self.events if e.kind in self._FLEET]
+
+    def tier_events(self) -> List[ChaosEvent]:
+        """Events targeting tier pairs (partition-tier, degrade-tier)."""
+        return [e for e in self.events if e.kind in self._TIER]
+
+    def requires_fleet(self) -> bool:
+        """True when the profile needs a FleetFaultInjector to apply."""
+        return bool(self.fleet_events())
+
+    def requires_topology(self) -> bool:
+        """True when the profile needs a ContinuumTopology to apply."""
+        return bool(self.tier_events())
+
+    def apply(self, injector: Optional[ServerFaultInjector] = None,
+              fleet=None, topology=None) -> list:
+        """Schedule every event on its plane; returns the processes.
+
+        ``injector`` drives the server events, ``fleet`` (a
+        :class:`~repro.net.fleet.FleetFaultInjector`) the device events
+        and ``topology`` (a
+        :class:`~repro.net.continuum.ContinuumTopology`) the tier
+        events; omitting a plane the profile needs raises before
+        anything is scheduled.
+        """
+        if self.server_events() and injector is None:
+            raise ValueError(
+                "this chaos profile has server-plane events but no "
+                "ServerFaultInjector was provided"
+            )
+        if self.requires_fleet() and fleet is None:
+            raise ValueError(
+                "this chaos profile has device-plane events "
+                "(crash-device/churn) but no FleetFaultInjector was "
+                "provided"
+            )
+        if self.requires_topology() and topology is None:
+            raise ValueError(
+                "this chaos profile has tier-pair events "
+                "(partition-tier/degrade-tier) but no ContinuumTopology "
+                "was provided"
+            )
         procs = []
         for event in self.events:
             if event.kind == "kill-shard":
@@ -248,6 +396,24 @@ class ChaosProfile:
             elif event.kind == "flap-backend":
                 period, down, cycles = event.args
                 procs.append(injector.flap_backend(period, down, int(cycles)))
+            elif event.kind == "crash-device":
+                after, down = event.args
+                procs.append(
+                    fleet.crash_restart_at(after, down, event.qualifier)
+                )
+            elif event.kind == "churn":
+                procs.append(fleet.churn_at(*event.args))
+            elif event.kind == "partition-tier":
+                a, b = event.qualifier.split("-")
+                procs.append(
+                    topology.partition_tiers_at(a, b, *event.args)
+                )
+            elif event.kind == "degrade-tier":
+                a, b = event.qualifier.split("-")
+                after, dur, loss = event.args
+                procs.append(
+                    topology.degrade_tiers_at(a, b, after, dur, loss)
+                )
         return procs
 
     def __repr__(self) -> str:

@@ -17,6 +17,8 @@ from .topology import Network
 
 __all__ = ["NetworkConstraint", "parse_rate", "parse_delay", "apply_constraints"]
 
+# tc's rate grammar, and tc's trap: the ``*bit`` family is bits/s, the
+# ``*bps`` family is BYTES/s (x8).  Units are case-insensitive, like tc.
 _RATE_UNITS = {
     "bit": 1.0,
     "kbit": 1e3,
@@ -30,31 +32,49 @@ _RATE_UNITS = {
 
 _DELAY_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6}
 
+#: NUMBER then UNIT; the number part must be a single well-formed
+#: decimal (``1.2.3`` must not slip through to ``float()``)
+_QUANTITY_RE = re.compile(r"\s*([0-9]+(?:\.[0-9]+)?|\.[0-9]+)\s*([A-Za-z]+)\s*")
+
+
+def _parse_quantity(text: str, units: dict, what: str, example: str) -> float:
+    """Shared NUMBER+UNIT parser; every rejection names the bad token."""
+    match = _QUANTITY_RE.fullmatch(text)
+    if not match:
+        raise ValueError(
+            f"cannot parse {what} {text!r}: expected NUMBER followed by a "
+            f"unit, e.g. {example!r}"
+        )
+    number, unit_token = match.group(1), match.group(2)
+    unit = unit_token.lower()
+    if unit not in units:
+        raise ValueError(
+            f"unknown {what} unit {unit_token!r} in {text!r}; known "
+            f"(case-insensitive): {', '.join(sorted(units))}"
+        )
+    return float(number) * units[unit]
+
 
 def parse_rate(rate: str | float | int) -> float:
-    """Parse ``"25Kbit"``/``"1Gbit"``-style rates into bits/s."""
+    """Parse ``"25Kbit"``/``"1Gbit"``-style rates into bits/s.
+
+    Follows ``tc``'s unit semantics, including its famous ambiguity:
+    ``kbit``/``mbit``/``gbit`` are kilo/mega/giga\\ *bits* per second,
+    while ``kbps``/``mbps``/``gbps`` are kilo/mega/giga\\ *bytes* per
+    second (x8).  Units are case-insensitive (``25Kbit`` == ``25kbit``).
+    A bare number is taken as bits/s.
+    """
     if isinstance(rate, (int, float)):
         return float(rate)
-    match = re.fullmatch(r"\s*([0-9.]+)\s*([A-Za-z]+)\s*", rate)
-    if not match:
-        raise ValueError(f"cannot parse rate {rate!r}")
-    value, unit = float(match.group(1)), match.group(2).lower()
-    if unit not in _RATE_UNITS:
-        raise ValueError(f"unknown rate unit {unit!r} in {rate!r}")
-    return value * _RATE_UNITS[unit]
+    return _parse_quantity(rate, _RATE_UNITS, "rate", "25Kbit")
 
 
 def parse_delay(delay: str | float | int) -> float:
-    """Parse ``"23ms"``-style delays into seconds."""
+    """Parse ``"23ms"``-style delays into seconds (units: s, ms, us;
+    case-insensitive).  A bare number is taken as seconds."""
     if isinstance(delay, (int, float)):
         return float(delay)
-    match = re.fullmatch(r"\s*([0-9.]+)\s*([A-Za-z]+)\s*", delay)
-    if not match:
-        raise ValueError(f"cannot parse delay {delay!r}")
-    value, unit = float(match.group(1)), match.group(2).lower()
-    if unit not in _DELAY_UNITS:
-        raise ValueError(f"unknown delay unit {unit!r} in {delay!r}")
-    return value * _DELAY_UNITS[unit]
+    return _parse_quantity(delay, _DELAY_UNITS, "delay", "23ms")
 
 
 @dataclass

@@ -144,3 +144,90 @@ def test_provenance_manager_rejects_impossible_chaos():
         ProvenanceManager(net, chaos="kill-shard@1")  # one shard only
     with pytest.raises(ValueError):
         ProvenanceManager(net, broker_shards=2, chaos="backend-outage@1:0.5")
+
+
+# --------------------------------------------- client-plane grammar (fleet)
+
+def test_parse_client_plane_grammar():
+    profile = ChaosProfile.parse(
+        "crash-device@1:2, crash-device:edge-3@1:2, churn@5:0.2:2,"
+        "partition-tier:edge-fog@8:3, degrade-tier:fog-cloud@1:2:0.5"
+    )
+    assert profile.events == (
+        ChaosEvent("crash-device", None, (1.0, 2.0)),
+        ChaosEvent("crash-device", None, (1.0, 2.0), qualifier="edge-3"),
+        ChaosEvent("churn", None, (5.0, 0.2, 2.0)),
+        ChaosEvent("partition-tier", None, (8.0, 3.0), qualifier="edge-fog"),
+        ChaosEvent("degrade-tier", None, (1.0, 2.0, 0.5),
+                   qualifier="fog-cloud"),
+    )
+    assert profile.requires_fleet()
+    assert profile.requires_topology()
+    assert not profile.requires_backend_link()
+    assert [e.kind for e in profile.fleet_events()] == [
+        "crash-device", "crash-device", "churn",
+    ]
+    assert [e.kind for e in profile.tier_events()] == [
+        "partition-tier", "degrade-tier",
+    ]
+    server_only = ChaosProfile.parse("kill-shard@1")
+    assert not server_only.requires_fleet()
+    assert not server_only.requires_topology()
+
+
+@pytest.mark.parametrize("bad", [
+    "churn@5:0.2",                     # wrong arity
+    "churn@5:0:2",                     # FRACTION must be > 0
+    "churn@5:1.5:2",                   # FRACTION must be <= 1
+    "churn@-1:0.5:2",                  # negative AFTER
+    "churn@5:0.5:0",                   # DOWN must be > 0
+    "crash-device@1:0",                # DOWN must be > 0
+    "crash-device@-0.5:1",             # negative AFTER
+    "partition-tier@8:3",              # missing tier-pair selector
+    "partition-tier:edgefog@8:3",      # not a dash-joined pair
+    "partition-tier:Edge-Fog@8:3",     # uppercase tier names
+    "partition-tier:edge-fog@8:0",     # DUR must be > 0
+    "degrade-tier:edge-fog@1:2:0",     # LOSS must be in (0, 1)
+    "degrade-tier:edge-fog@1:2:1.0",   # LOSS must be in (0, 1)
+    "churn:3@5:0.2:2",                 # churn takes no selector
+    "kill-shard:-1@1",                 # negative index
+])
+def test_parse_rejects_malformed_client_plane_specs(bad):
+    with pytest.raises(ValueError):
+        ChaosProfile.parse(bad)
+
+
+def test_rejections_name_the_offending_token():
+    with pytest.raises(ValueError, match="churn@5:1.5:2"):
+        ChaosProfile.parse("kill-shard@1,churn@5:1.5:2")
+    with pytest.raises(ValueError, match="edgefog"):
+        ChaosProfile.parse("partition-tier:edgefog@8:3")
+
+
+def test_apply_requires_the_planes_the_profile_uses():
+    env, net, server, _ = make_server()
+    inj = ServerFaultInjector(server)
+    with pytest.raises(ValueError, match="FleetFaultInjector"):
+        ChaosProfile.parse("churn@5:0.2:2").apply(inj)
+    with pytest.raises(ValueError, match="ContinuumTopology"):
+        ChaosProfile.parse("partition-tier:edge-fog@8:3").apply(inj)
+    with pytest.raises(ValueError, match="ServerFaultInjector"):
+        ChaosProfile.parse("kill-shard@1").apply()
+
+
+def test_apply_schedules_tier_events_on_the_topology():
+    from repro.net import ContinuumTopology
+
+    env = Environment()
+    net = Network(env, seed=2)
+    topo = ContinuumTopology(net, "edge:2,fog:1,cloud:1")
+    procs = ChaosProfile.parse(
+        "partition-tier:edge-fog@1:0.5,degrade-tier:fog-cloud@1:0.5:0.3"
+    ).apply(topology=topo)
+    assert len(procs) == 2
+    env.run(until=1.2)
+    assert topo.tier_partitioned("edge", "fog")
+    env.run(until=5.0)
+    assert not topo.tier_partitioned("edge", "fog")
+    assert len(topo.tier_outages) == 1
+    assert len(topo.degradations) == 1

@@ -103,3 +103,53 @@ def test_fanout_constraint_many_devices():
         [NetworkConstraint(src=names, dst=["cloud"], rate="1Gbit", delay="23ms")],
     )
     assert len(configured) == 8
+
+
+def test_parse_rate_bit_vs_byte_families():
+    # tc's trap: *bit is bits/s, *bps is BYTES/s (x8)
+    assert parse_rate("1kbit") == 1e3
+    assert parse_rate("1kbps") == 8e3
+    assert parse_rate("2Mbps") == 16e6
+    assert parse_rate("1Gbps") == 8e9
+    # case-insensitive, like tc
+    assert parse_rate("25KBIT") == parse_rate("25kbit") == 25e3
+    # fractional quantities
+    assert parse_rate("0.5Mbit") == 5e5
+    assert parse_rate(".5Mbit") == 5e5
+
+
+def test_parse_delay_case_and_whitespace():
+    assert parse_delay("23MS") == pytest.approx(0.023)
+    assert parse_delay(" 23 ms ") == pytest.approx(0.023)
+    assert parse_delay("1.5s") == 1.5
+
+
+@pytest.mark.parametrize("bad", [
+    "1.2.3Mbit",       # malformed number
+    "Mbit",            # no number
+    "10",              # string number without a unit
+    "10 ",             # ditto
+    "-5Mbit",          # negative rates make no sense
+    "1e3bit",          # exponents are not tc grammar
+])
+def test_parse_rate_rejects_malformed_quantities(bad):
+    with pytest.raises(ValueError):
+        parse_rate(bad)
+
+
+def test_parse_errors_name_the_offending_token():
+    with pytest.raises(ValueError, match=r"'10parsecs'"):
+        parse_rate("10parsecs")
+    with pytest.raises(ValueError, match=r"'parsecs'"):
+        parse_rate("10parsecs")
+    with pytest.raises(ValueError, match="case-insensitive"):
+        parse_rate("10parsecs")
+    with pytest.raises(ValueError, match=r"'1\.2\.3Mbit'"):
+        parse_rate("1.2.3Mbit")
+    with pytest.raises(ValueError, match=r"'fortnight'"):
+        parse_delay("1fortnight")
+    # a rate unit is not a delay unit and vice versa
+    with pytest.raises(ValueError, match="delay"):
+        parse_delay("10Mbit")
+    with pytest.raises(ValueError, match="rate"):
+        parse_rate("23ms")
