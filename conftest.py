@@ -1,0 +1,42 @@
+"""Repo-level pytest configuration.
+
+``pytest --sim-debug`` runs the whole suite with every bare
+``Environment()`` construction routed to
+:class:`repro.simkernel.DebugEnvironment`, the runtime kernel-hazard
+detector (cross-environment events, double triggers, non-monotonic
+schedules, unretrieved failures — see ``docs/static-analysis.md``).
+CI runs the suite this way so every PR executes under the detector.
+"""
+
+import os
+import sys
+
+# make `pytest` work without PYTHONPATH=src (CI still sets it explicitly)
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sim-debug",
+        action="store_true",
+        default=False,
+        help="build every simkernel Environment as a DebugEnvironment, "
+        "turning silent kernel misuse (cross-environment events, double "
+        "triggers, non-monotonic schedules, unretrieved failures) into "
+        "loud test failures",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--sim-debug"):
+        from repro.simkernel import install_debug_environment
+
+        install_debug_environment()
+
+
+def pytest_report_header(config):
+    if config.getoption("--sim-debug"):
+        return "sim-debug: DebugEnvironment hazard detection ACTIVE"
+    return None

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 CI: the full test suite, the example smoke tests, then the
-# quick perf regression gate.
+# Tier-1 CI: the static reproducibility lint, the full test suite under
+# the runtime hazard detector, the example smoke tests, then the quick
+# perf regression gate.
 #
 # The examples are the library's public face (and the quickest thing a
 # user copies); executing every examples/*.py headlessly means an API
@@ -18,7 +19,15 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-python -m pytest -x -q
+# static reproducibility lint (AST determinism/hazard checks; see
+# docs/static-analysis.md for the rule catalog and suppression grammar)
+python scripts/lint.py src tests --format=text
+
+# the suite runs under the simkernel runtime hazard detector: every
+# Environment() is a DebugEnvironment, so cross-environment events,
+# double triggers, non-monotonic schedules and unretrieved failures
+# fail the gate at the misuse site instead of corrupting a run
+python -m pytest -x -q --sim-debug
 
 for example in examples/*.py; do
     echo "smoke: $example"

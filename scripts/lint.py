@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""repro-lint CLI: run the reproducibility lint over the tree.
+
+Usage::
+
+    python scripts/lint.py                      # lint src and tests
+    python scripts/lint.py src tests --format=json
+    python scripts/lint.py --rules wall-clock,bare-swallow src
+    python scripts/lint.py --list-rules
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.  CI runs this
+before pytest (see scripts/ci.sh); the rule catalog and suppression
+grammar are documented in docs/static-analysis.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.analysis import (  # noqa: E402  (path bootstrap above)
+    all_rules,
+    get_rules,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python scripts/lint.py",
+        description="Static reproducibility lint (see docs/static-analysis.md).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="NAMES",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in sorted(all_rules().items()):
+            scope = "src-only" if rule.src_only else "everywhere"
+            print(f"{name:20s} [{scope}] {rule.description}")
+        return 0
+
+    try:
+        rules = get_rules(
+            [n.strip() for n in args.rules.split(",") if n.strip()]
+            if args.rules else None
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    missing = [p for p in (args.paths or ["src", "tests"]) if not os.path.exists(p)]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    violations, files_checked = lint_paths(args.paths or ["src", "tests"], rules)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(violations, files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

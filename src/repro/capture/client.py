@@ -352,9 +352,7 @@ class CaptureClient:
         for callback in list(self._state_listeners):
             try:
                 callback(state)
-            except Exception:
-                # a listener is observability, never control flow: a
-                # buggy one must not take down the capture pipeline
+            except Exception:  # lint: disable=bare-swallow(a listener is observability, never control flow: a buggy one must not take down the capture pipeline)
                 pass
 
     def _flush_group(self, group: List[Dict[str, Any]]):

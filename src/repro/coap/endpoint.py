@@ -153,7 +153,7 @@ class CoapClient:
         done = self.env.event()
         self._pending[mid] = done
         self.sock.sendto(request.encode(), self.server)
-        self.env.process(self._retransmit(request, mid, 0))
+        self.env.process(self._retransmit(request, mid, 0), name=f"coap-rtx-{mid}")
         response = yield done
         return response
 
@@ -170,7 +170,7 @@ class CoapClient:
         done = self.env.event()
         self._pending[mid] = done
         self.sock.sendto(request.encode(), self.server)
-        self.env.process(self._retransmit(request, mid, 0))
+        self.env.process(self._retransmit(request, mid, 0), name=f"coap-rtx-{mid}")
         return done
 
     def _retransmit(self, request: CoapMessage, mid: int, attempt: int):
@@ -183,4 +183,6 @@ class CoapClient:
             event.fail(CoapTimeout(f"CON {mid} exhausted retransmissions"))
             return
         self.sock.sendto(request.encode(), self.server)
-        self.env.process(self._retransmit(request, mid, attempt + 1))
+        self.env.process(
+            self._retransmit(request, mid, attempt + 1), name=f"coap-rtx-{mid}"
+        )

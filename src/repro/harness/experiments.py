@@ -284,7 +284,8 @@ def run_null_baseline(
             synthetic_workload(
                 env, NullCaptureClient(device), config,
                 rng=np.random.default_rng(seed * 1000 + i), result=result,
-            )
+            ),
+            name=f"null-workload-{i}",
         )
     env.run()
     return float(np.mean([r["elapsed"] for r in results]))
@@ -438,8 +439,11 @@ def run_capture_experiment(
 
             try:
                 backend_service.ingest(json.loads(request.body.decode()))
-            except Exception:
-                pass  # byte/timing fidelity matters here, not storage
+            except (ValueError, KeyError, TypeError):
+                # malformed body or record shape: byte/timing fidelity
+                # matters here, not storage — but programming errors
+                # (anything outside the malformed-payload family) surface
+                pass
             return HttpResponse(status=201, reason="Created")
 
         HttpServer(net.hosts["cloud"], 5000, handler, workers=max(8, setup.n_devices))
@@ -467,7 +471,7 @@ def run_capture_experiment(
         snapshots.append(snapshot_device(device, result["elapsed"]))
 
     for i, (client, device) in enumerate(zip(clients, devices)):
-        env.process(run_device(env, i, client, device))
+        env.process(run_device(env, i, client, device), name=f"device-{i}")
     env.run()
 
     fleet_stats: Optional[Dict[str, Any]] = None

@@ -13,13 +13,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from typing import Dict, List, Optional
 
 from .figures import ALL_FIGURES, figure6_runs
 from .tables import ALL_TABLES, TableResult
+from .timing import WallClockTimer
 
-__all__ = ["main", "run_targets", "ALL_TARGETS"]
+__all__ = ["main", "run_targets", "write_experiments_md", "ALL_TARGETS"]
 
 ALL_TARGETS = list(ALL_TABLES) + list(ALL_FIGURES)
 
@@ -36,14 +36,14 @@ def run_targets(targets: List[str], repetitions: Optional[int] = None) -> Dict[s
     fig_targets = [t for t in targets if t in ALL_FIGURES]
     shared_runs = figure6_runs(repetitions) if fig_targets else None
     for target in targets:
-        start = time.time()
-        if target in ALL_TABLES:
-            result = ALL_TABLES[target](repetitions)
-        else:
-            result = ALL_FIGURES[target](shared_runs)
+        with WallClockTimer() as timer:
+            if target in ALL_TABLES:
+                result = ALL_TABLES[target](repetitions)
+            else:
+                result = ALL_FIGURES[target](shared_runs)
         results[target] = result
         print(result.text)
-        print(f"[{target}] {result.summary()} ({time.time() - start:.1f}s)\n")
+        print(f"[{target}] {result.summary()} ({timer.elapsed:.1f}s)\n")
     return results
 
 

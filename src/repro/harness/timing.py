@@ -1,0 +1,62 @@
+"""The harness wall-clock shim — the ONE sanctioned host-clock site.
+
+Simulation code must never read the host clock: simulated components
+take time exclusively from ``env.now``, which is what makes every
+acceptance run bit-for-bit reproducible (and what the ``wall-clock``
+lint rule enforces across ``src/repro``).  The harness, however,
+legitimately reports how long regenerating a table or figure takes in
+*real* seconds — that is host-side tooling telemetry, not simulated
+behaviour, and it must be explicit about it.
+
+This module is the explicit route: it is allowlisted by the lint rule,
+so a wall-clock read anywhere else in the library is a violation by
+construction.  ``time.perf_counter()`` is used instead of
+``time.time()`` — it is monotonic (immune to NTP steps) and the
+highest-resolution clock available for measuring elapsed durations.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_clock", "WallClockTimer"]
+
+
+def wall_clock() -> float:
+    """A monotonic host-clock reading in seconds (for durations only).
+
+    The absolute value is meaningless; only differences between two
+    readings are.
+    """
+    return time.perf_counter()
+
+
+class WallClockTimer:
+    """Context manager measuring elapsed host seconds.
+
+    Example::
+
+        with WallClockTimer() as timer:
+            regenerate_table()
+        print(f"took {timer.elapsed:.1f}s")
+
+    ``elapsed`` reads live while the block is still running.
+    """
+
+    __slots__ = ("_started", "_elapsed")
+
+    def __enter__(self) -> "WallClockTimer":
+        self._elapsed = None
+        self._started = wall_clock()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._elapsed = wall_clock() - self._started
+        return False
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed host seconds (final after the block, live inside it)."""
+        if self._elapsed is not None:
+            return self._elapsed
+        return wall_clock() - self._started

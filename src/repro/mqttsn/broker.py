@@ -332,7 +332,10 @@ class MqttSnBroker:
                     tracked.append(msg_id)
             if tracked:
                 # one retry timer covers the whole coalesced group
-                self.env.process(self._retry_outbound(session.endpoint, tracked, 0))
+                self.env.process(
+                    self._retry_outbound(session.endpoint, tracked, 0),
+                    name="broker-qos-retry",
+                )
 
     def _deliver(
         self,
@@ -394,7 +397,10 @@ class MqttSnBroker:
             else:
                 out.message.dup = True
                 self._send(out.message, dest)
-        self.env.process(self._retry_outbound(dest, outstanding, attempt + 1))
+        self.env.process(
+            self._retry_outbound(dest, outstanding, attempt + 1),
+            name="broker-qos-retry",
+        )
 
     def __repr__(self) -> str:
         return f"<MqttSnBroker {self.host.name}:{self.port} sessions={len(self.sessions)}>"

@@ -85,7 +85,10 @@ class MqttSnClient:
         message = pkt.Connect(client_id=self.client_id)
         self._connect_event = self.env.event()
         self._send(message)
-        self.env.process(self._retry_connect(message, 0))
+        self.env.process(
+            self._retry_connect(message, 0),
+            name=f"mqttsn-connect-retry-{self.client_id}",
+        )
         yield self._connect_event
         self.connected = True
         return self
@@ -97,7 +100,10 @@ class MqttSnClient:
                 self._connect_event.fail(MqttSnTimeout("CONNECT timed out"))
             else:
                 self._send(message)
-                self.env.process(self._retry_connect(message, attempt + 1))
+                self.env.process(
+                    self._retry_connect(message, attempt + 1),
+                    name=f"mqttsn-connect-retry-{self.client_id}",
+                )
 
     def register(self, topic_name: str):
         """Generator: REGISTER / REGACK; returns the broker's topic id."""
@@ -188,7 +194,9 @@ class MqttSnClient:
         pending = _Pending(kind, done, message)
         self._pending[(kind, msg_id)] = pending
         self._send(message)
-        self.env.process(self._retry_pending(kind, msg_id, 0))
+        self.env.process(
+            self._retry_pending(kind, msg_id, 0), name=f"mqttsn-retry-{kind}-{msg_id}"
+        )
         return done
 
     def ping(self):
@@ -211,7 +219,9 @@ class MqttSnClient:
         done = self.env.event()
         self._pending[(kind, msg_id)] = _Pending(kind, done, message)
         self._send(message)
-        self.env.process(self._retry_pending(kind, msg_id, 0))
+        self.env.process(
+            self._retry_pending(kind, msg_id, 0), name=f"mqttsn-retry-{kind}-{msg_id}"
+        )
         reply = yield done
         return reply
 
@@ -231,7 +241,10 @@ class MqttSnClient:
             if isinstance(message, pkt.Publish):
                 message.dup = True
             self._send(message)
-        self.env.process(self._retry_pending(kind, msg_id, attempt + 1))
+        self.env.process(
+            self._retry_pending(kind, msg_id, attempt + 1),
+            name=f"mqttsn-retry-{kind}-{msg_id}",
+        )
 
     def _recv_loop(self):
         while True:

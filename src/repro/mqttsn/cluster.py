@@ -221,7 +221,10 @@ class _ClusterRelay:
         cluster = self._cluster
         for index, entries in staged.items():
             cluster.relayed.record(len(entries))
-            cluster.env.process(self._deliver(cluster.shards[index], entries))
+            cluster.env.process(
+                self._deliver(cluster.shards[index], entries),
+                name=f"relay-deliver-{index}",
+            )
 
     def _deliver(self, shard: MqttSnBroker, entries) -> None:
         # one relay hop per (origin batch, destination shard): the same
@@ -624,7 +627,7 @@ class BrokerCluster:
             # this datagram has been forwarded (zero-delay event, so the
             # DISCONNECT itself still routes by the pin) — churning
             # endpoints must not accrete dispatcher state forever
-            self.env.process(self._unpin_after_forward(source))
+            self.env.process(self._unpin_after_forward(source), name="dispatcher-unpin")
         if current is not None:
             return current
         # unpinned non-CONNECT traffic: route deterministically by source
@@ -718,7 +721,9 @@ class BrokerCluster:
         if origins[best] < self.rehome_margin * max(1, origins.get(home, 0)):
             return
         self._rehoming.add(endpoint)
-        self.env.process(self._rehome_later(endpoint, best))
+        self.env.process(
+            self._rehome_later(endpoint, best), name="cluster-rehome"
+        )
 
     def _rehome_later(self, endpoint: Endpoint, new_index: int):
         yield self.env.timeout(0)

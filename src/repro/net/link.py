@@ -166,7 +166,7 @@ class Link:
             delay = self.latency_s
             if self.jitter_s > 0.0:
                 delay = max(0.0, delay + float(self.rng.normal(0.0, self.jitter_s)))
-            env.process(self._propagate(delay, packet, deliver))
+            env.process(self._propagate(delay, packet, deliver), name="link-propagate")
 
     def _drop(self, packet: Packet) -> bool:
         """Sample the loss model for one packet (advances burst state)."""

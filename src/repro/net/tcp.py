@@ -195,7 +195,7 @@ class TcpConnection:
     def _start_connect(self) -> None:
         """Send the initial SYN (client side)."""
         self._transmit(flags="SYN", seq=0)
-        self.env.process(self._handshake_timer(0))
+        self.env.process(self._handshake_timer(0), name="tcp-handshake-timer")
 
     def _handshake_timer(self, attempt: int):
         yield self.env.timeout(self._rto * (2 ** attempt))
@@ -207,7 +207,9 @@ class TcpConnection:
                 )
             else:
                 self._transmit(flags="SYN", seq=0)
-                self.env.process(self._handshake_timer(attempt + 1))
+                self.env.process(
+                    self._handshake_timer(attempt + 1), name="tcp-handshake-timer"
+                )
 
     # ------------------------------------------------------------ packet I/O
     def _transmit(

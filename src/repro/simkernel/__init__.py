@@ -9,7 +9,21 @@ network links, protocol stacks, devices and workloads are all processes in
 one environment, sharing one simulated clock.
 """
 
-from .core import EmptySchedule, Environment, StopSimulation
+from .core import (
+    EmptySchedule,
+    Environment,
+    StopSimulation,
+    default_environment_class,
+    set_default_environment_class,
+)
+from .debug import (
+    DebugEnvironment,
+    SimHazard,
+    SimHazardError,
+    debug_environment_installed,
+    install_debug_environment,
+    uninstall_debug_environment,
+)
 from .events import (
     AllOf,
     AnyOf,
@@ -36,6 +50,14 @@ __all__ = [
     "Environment",
     "EmptySchedule",
     "StopSimulation",
+    "set_default_environment_class",
+    "default_environment_class",
+    "DebugEnvironment",
+    "SimHazard",
+    "SimHazardError",
+    "install_debug_environment",
+    "uninstall_debug_environment",
+    "debug_environment_installed",
     "Event",
     "Timeout",
     "Process",

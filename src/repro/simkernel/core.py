@@ -15,7 +15,13 @@ from .events import (
     Timeout,
 )
 
-__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "StopSimulation",
+    "set_default_environment_class",
+    "default_environment_class",
+]
 
 
 class EmptySchedule(Exception):
@@ -24,6 +30,33 @@ class EmptySchedule(Exception):
 
 class StopSimulation(Exception):
     """Signals :meth:`Environment.run` to return (internal)."""
+
+
+#: When set, bare ``Environment(...)`` constructions build this subclass
+#: instead (see :func:`set_default_environment_class`).  This is how
+#: ``pytest --sim-debug`` swaps the whole suite onto the hazard-detecting
+#: :class:`~repro.simkernel.debug.DebugEnvironment` without touching any
+#: call site.
+_default_environment_class: Optional[type] = None
+
+
+def set_default_environment_class(cls: Optional[type]) -> None:
+    """Override (or with ``None``, restore) what ``Environment()`` builds.
+
+    ``cls`` must be a strict subclass of :class:`Environment`; explicit
+    constructions of a subclass are never redirected.
+    """
+    global _default_environment_class
+    if cls is not None and not (
+        isinstance(cls, type) and issubclass(cls, Environment) and cls is not Environment
+    ):
+        raise TypeError(f"{cls!r} is not a strict Environment subclass")
+    _default_environment_class = cls
+
+
+def default_environment_class() -> Optional[type]:
+    """The currently installed construction override (``None`` = base)."""
+    return _default_environment_class
 
 
 class Environment:
@@ -47,6 +80,16 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_eid", "_active_proc")
+
+    #: consulted once per process yield (see ``Process._resume``); the
+    #: debug subclass flips it to route yields through hazard checks
+    _debug = False
+
+    def __new__(cls, *args, **kwargs):
+        override = _default_environment_class
+        if override is not None and cls is Environment:
+            return object.__new__(override)
+        return object.__new__(cls)
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)

@@ -126,6 +126,8 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state/value of another event."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self} has already been triggered")
         self._ok = event._ok
         self._value = event._value
         self.env.schedule(self, NORMAL)
@@ -279,6 +281,8 @@ class Process(Event):
                 env.schedule(self, NORMAL)
                 break
 
+            if env._debug:
+                env._check_yield(self, next_event)
             try:
                 if next_event.callbacks is not None:
                     # Event not yet processed: wait for it.

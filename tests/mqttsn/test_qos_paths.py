@@ -66,8 +66,8 @@ def test_qos1_retransmission_may_duplicate():
         for i in range(8):
             try:
                 yield from pub.publish(tid, b"m%d" % i, qos=1)
-            except Exception:
-                pass
+            except pkt.MqttSnError:
+                pass  # 30% loss may exhaust QoS retries; that is the point
 
     env.process(subscriber(env))
     env.process(publisher(env))

@@ -42,7 +42,7 @@ def test_timeout_value_is_returned():
 def test_negative_timeout_rejected():
     env = Environment()
     with pytest.raises(ValueError):
-        env.timeout(-1)
+        env.timeout(-1)  # lint: disable=dropped-event(the call must raise before any event exists)
 
 
 def test_run_until_time_stops_exactly():
@@ -97,8 +97,8 @@ def test_step_on_empty_schedule_raises():
 
 def test_peek_reports_next_event_time():
     env = Environment()
-    env.timeout(7.0)
-    assert env.peek() == 7.0
+    timer = env.timeout(7.0)
+    assert env.peek() == timer.delay == 7.0
 
 
 def test_peek_empty_is_inf():
@@ -321,5 +321,5 @@ def test_timeout_fast_path_matches_direct_construction():
 def test_timeout_fast_path_rejects_negative_delay():
     env = Environment()
     with pytest.raises(ValueError):
-        env.timeout(-0.1)
+        env.timeout(-0.1)  # lint: disable=dropped-event(the call must raise before any event exists)
     assert len(env._queue) == 0
